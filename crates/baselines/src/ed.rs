@@ -1,0 +1,157 @@
+//! ED: the earliest-divergence relay heuristic.
+//!
+//! §4 of the paper discusses Fei, Tao, Gao & Guerin's earliest-divergence
+//! heuristic (INFOCOM'06) for finding *independent* routing paths: prefer
+//! the relay whose path from the source diverges from the direct path as
+//! early as possible, maximizing disjointness. The paper's point — which
+//! this implementation lets the evaluation demonstrate — is that "when
+//! used in VoIP applications, ED cannot guarantee to find good relay
+//! nodes to satisfy the VoIP quality requirements": disjointness is about
+//! *reliability*, not latency.
+
+use asap_voip::QualityRequirement;
+use asap_workload::sessions::Session;
+use asap_workload::{HostId, Scenario};
+
+use crate::rand_sel::RandSel;
+use crate::selector::{eval_one_hop, RelaySelector, SelectionOutcome};
+
+/// The earliest-divergence baseline: probes the same random candidates as
+/// [`RandSel`], but *ranks* them by how early the caller→relay AS path
+/// diverges from the caller→callee direct path (ties by RTT). The best
+/// path reported is the most-disjoint one, not the fastest.
+#[derive(Debug, Clone)]
+pub struct EarliestDivergence {
+    sampler: RandSel,
+}
+
+impl EarliestDivergence {
+    /// Probes `count` random candidates per session (deterministic per
+    /// seed/session, identical candidate sets to `RandSel::new(count,
+    /// seed)` for apples-to-apples comparisons).
+    pub fn new(count: usize, seed: u64) -> Self {
+        EarliestDivergence {
+            sampler: RandSel::new(count, seed),
+        }
+    }
+
+    /// The number of leading ASes the relay path shares with the direct
+    /// path (0 = diverges immediately at the source AS; smaller = more
+    /// disjoint).
+    pub fn shared_prefix_len(scenario: &Scenario, session: Session, relay: HostId) -> usize {
+        let (caller, callee, r) = (
+            scenario.population.host(session.caller).asn,
+            scenario.population.host(session.callee).asn,
+            scenario.population.host(relay).asn,
+        );
+        let Some(direct) = scenario.net.as_path(caller, callee) else {
+            return 0;
+        };
+        let Some(via) = scenario.net.as_path(caller, r) else {
+            return 0;
+        };
+        direct
+            .iter()
+            .zip(via.iter())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+impl RelaySelector for EarliestDivergence {
+    fn name(&self) -> &'static str {
+        "ED"
+    }
+
+    fn select(
+        &self,
+        scenario: &Scenario,
+        session: Session,
+        requirement: &QualityRequirement,
+    ) -> SelectionOutcome {
+        let mut out = SelectionOutcome::default();
+        let mut ranked: Vec<(usize, f64, crate::selector::RelayPath)> = Vec::new();
+        for r in self.sampler.candidates(scenario, session) {
+            out.messages += 1;
+            let Some(path) = eval_one_hop(scenario, session, r) else {
+                continue;
+            };
+            out.probed_nodes += 1;
+            if requirement.rtt_ok(path.rtt_ms) {
+                out.quality_paths += 1;
+            }
+            let shared = Self::shared_prefix_len(scenario, session, r);
+            ranked.push((shared, path.rtt_ms, path));
+        }
+        // Earliest divergence first; RTT only breaks ties.
+        ranked.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        out.best = ranked.into_iter().next().map(|(_, _, p)| p);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_workload::{Scenario, ScenarioConfig};
+
+    fn scenario() -> Scenario {
+        Scenario::build(ScenarioConfig::tiny(), 64)
+    }
+
+    #[test]
+    fn ed_probes_the_same_candidates_as_rand() {
+        let s = scenario();
+        let sess = Session {
+            caller: HostId(0),
+            callee: HostId(101),
+        };
+        let ed = EarliestDivergence::new(40, 5);
+        let rand = RandSel::new(40, 5);
+        let req = QualityRequirement::default();
+        let a = ed.select(&s, sess, &req);
+        let b = rand.select(&s, sess, &req);
+        assert_eq!(a.quality_paths, b.quality_paths);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn ed_picks_most_disjoint_not_fastest() {
+        let s = scenario();
+        let req = QualityRequirement::default();
+        let ed = EarliestDivergence::new(60, 9);
+        let rand = RandSel::new(60, 9);
+        let mut ed_slower_somewhere = false;
+        for i in 0..20u32 {
+            let sess = Session {
+                caller: HostId(i),
+                callee: HostId(200 + i),
+            };
+            let (Some(e), Some(r)) = (
+                ed.select(&s, sess, &req).best,
+                rand.select(&s, sess, &req).best,
+            ) else {
+                continue;
+            };
+            // RAND keeps the fastest probe, so ED can only be ≥.
+            assert!(e.rtt_ms >= r.rtt_ms - 1e-9);
+            if e.rtt_ms > r.rtt_ms + 1.0 {
+                ed_slower_somewhere = true;
+            }
+            // And the chosen relay really is (one of) the most disjoint.
+            let chosen_shared = EarliestDivergence::shared_prefix_len(&s, sess, e.relays[0]);
+            for cand in ed.sampler.candidates(&s, sess) {
+                if eval_one_hop(&s, sess, cand).is_some() {
+                    assert!(
+                        chosen_shared <= EarliestDivergence::shared_prefix_len(&s, sess, cand),
+                        "a more disjoint candidate existed"
+                    );
+                }
+            }
+        }
+        assert!(
+            ed_slower_somewhere,
+            "ED should pay a latency price for disjointness somewhere (the paper's point)"
+        );
+    }
+}

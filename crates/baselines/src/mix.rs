@@ -1,0 +1,98 @@
+//! MIX: dedicated plus random relays.
+
+use asap_voip::QualityRequirement;
+use asap_workload::sessions::Session;
+use asap_workload::Scenario;
+
+use crate::dedi::Dedi;
+use crate::rand_sel::RandSel;
+use crate::selector::{RelaySelector, SelectionOutcome};
+
+/// The combination baseline of §7.1: "MIX probes 160 nodes, including 40
+/// dedicated nodes and 120 randomly probed nodes".
+#[derive(Debug, Clone)]
+pub struct Mix {
+    dedi: Dedi,
+    rand: RandSel,
+}
+
+impl Mix {
+    /// Builds a MIX of `dedicated` high-degree nodes and `random` random
+    /// probes per session.
+    pub fn new(scenario: &Scenario, dedicated: usize, random: usize, seed: u64) -> Self {
+        Mix {
+            dedi: Dedi::new(scenario, dedicated),
+            rand: RandSel::new(random, seed),
+        }
+    }
+
+    /// The dedicated component.
+    pub fn dedicated(&self) -> &Dedi {
+        &self.dedi
+    }
+}
+
+impl RelaySelector for Mix {
+    fn name(&self) -> &'static str {
+        "MIX"
+    }
+
+    fn select(
+        &self,
+        scenario: &Scenario,
+        session: Session,
+        requirement: &QualityRequirement,
+    ) -> SelectionOutcome {
+        let a = self.dedi.select(scenario, session, requirement);
+        let b = self.rand.select(scenario, session, requirement);
+        let mut out = SelectionOutcome {
+            quality_paths: a.quality_paths + b.quality_paths,
+            best: None,
+            messages: a.messages + b.messages,
+            probed_nodes: a.probed_nodes + b.probed_nodes,
+        };
+        out.best = match (a.best, b.best) {
+            (Some(x), Some(y)) => Some(if x.rtt_ms <= y.rtt_ms { x } else { y }),
+            (x, y) => x.or(y),
+        };
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_workload::{HostId, ScenarioConfig};
+
+    #[test]
+    fn combines_budgets() {
+        let s = Scenario::build(ScenarioConfig::tiny(), 5);
+        let mix = Mix::new(&s, 10, 30, 3);
+        let sess = Session {
+            caller: HostId(0),
+            callee: HostId(77),
+        };
+        let out = mix.select(&s, sess, &QualityRequirement::default());
+        assert_eq!(out.messages, 40);
+    }
+
+    #[test]
+    fn best_is_no_worse_than_either_component() {
+        let s = Scenario::build(ScenarioConfig::tiny(), 5);
+        let mix = Mix::new(&s, 10, 30, 3);
+        let sess = Session {
+            caller: HostId(0),
+            callee: HostId(77),
+        };
+        let req = QualityRequirement::default();
+        let combined = mix.select(&s, sess, &req).best.map(|p| p.rtt_ms);
+        let d = mix
+            .dedicated()
+            .select(&s, sess, &req)
+            .best
+            .map(|p| p.rtt_ms);
+        if let (Some(c), Some(d)) = (combined, d) {
+            assert!(c <= d);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! A behavioral model of Skype's AS-unaware relay hunting.
+//!
+//! Skype's routing is closed and encrypted, so the paper characterizes it
+//! from packet captures of 14 sessions (§5) and identifies four limits:
+//!
+//! 1. **Suboptimal major paths** — sessions settle on relays with RTTs
+//!    above 350 ms although better relays exist.
+//! 2. **Same-AS probing** — multiple probed relays sit in one AS, sharing
+//!    bottlenecks (Table 2).
+//! 3. **Long stabilization / relay bounce** — up to 329 s of switching
+//!    before the *major relay* is settled (Fig. 7(a)).
+//! 4. **Probing overhead** — tens of relays probed per session, and 3–6
+//!    more even after stabilization (Fig. 7(b,c)).
+//!
+//! This module reproduces the *mechanism* behind those observations: a
+//! caller that knows a random sample of supernodes, probes them in rounds
+//! with noisy measurements, switches to whatever currently measures best
+//! (relay bounce), and keeps background-probing after settling. Nothing
+//! here consults the AS topology — that is the point.
+
+use asap_netsim::events::{EventQueue, SimTime};
+use asap_workload::sessions::Session;
+use asap_workload::{HostId, Scenario};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Tunables of the Skype-like prober.
+#[derive(Debug, Clone)]
+pub struct SkypeConfig {
+    /// Number of supernodes the client learns from the overlay (sampled
+    /// by bandwidth, AS-unaware).
+    pub candidate_pool: usize,
+    /// Relays probed per probing round.
+    pub probes_per_round: usize,
+    /// Base interval between probing rounds, milliseconds.
+    pub probe_interval_ms: u64,
+    /// Rounds without a switch after which probing slows down (×4
+    /// interval) — the background probing regime.
+    pub slowdown_after_rounds: u32,
+    /// Measured-RTT improvement (ms) required to switch relays.
+    pub switch_margin_ms: f64,
+    /// Per-probe multiplicative measurement noise half-width.
+    pub measurement_noise: f64,
+    /// Simulated call duration, milliseconds.
+    pub call_duration_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkypeConfig {
+    fn default() -> Self {
+        SkypeConfig {
+            candidate_pool: 40,
+            probes_per_round: 3,
+            probe_interval_ms: 5_000,
+            slowdown_after_rounds: 8,
+            switch_margin_ms: 5.0,
+            measurement_noise: 0.20,
+            call_duration_ms: 420_000,
+            seed: 0,
+        }
+    }
+}
+
+/// One probe observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeRecord {
+    /// When the probe was sent.
+    pub at: SimTime,
+    /// The probed relay (`None` = the direct path).
+    pub relay: Option<HostId>,
+    /// The *measured* (noisy) path RTT in milliseconds.
+    pub measured_rtt_ms: f64,
+}
+
+/// A relay switch during the call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Switch {
+    /// When the client switched.
+    pub at: SimTime,
+    /// The new current path (`None` = direct).
+    pub to: Option<HostId>,
+    /// The measured RTT that triggered the switch.
+    pub measured_rtt_ms: f64,
+}
+
+/// The full record of one simulated Skype-like call direction.
+#[derive(Debug, Clone)]
+pub struct SkypeReport {
+    /// The simulated session.
+    pub session: Session,
+    /// Every probe, in time order (Fig. 6's time series).
+    pub probes: Vec<ProbeRecord>,
+    /// Every switch, in time order.
+    pub switches: Vec<Switch>,
+    /// The major path's relay after the call (`None` = direct).
+    pub major_relay: Option<HostId>,
+    /// True (noise-free) RTT of the major path, milliseconds.
+    pub major_rtt_ms: f64,
+    /// Stabilization time: seconds from call start until the last switch
+    /// (0 if the client never left the direct path).
+    pub stabilization_s: f64,
+    /// Distinct relay nodes probed over the whole call (Fig. 7(b)).
+    pub probed_total: usize,
+    /// Distinct relay nodes probed through the voice-data port after the
+    /// hunt settled into the background regime (Fig. 7(c): "most sessions
+    /// have probed 3-6 relay nodes after the stabilization time").
+    pub probed_after_stabilization: usize,
+    /// Pairs of distinct probed relays located in the same AS — the
+    /// Table 2 pathology an AS-aware protocol would avoid.
+    pub same_as_pairs: usize,
+}
+
+/// Events driving the simulated call.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    ProbeRound,
+    EndCall,
+}
+
+/// Simulates one call direction under the Skype-like prober.
+///
+/// # Panics
+///
+/// Panics if the population is smaller than three hosts (no candidate
+/// relays exist).
+pub fn simulate_call(scenario: &Scenario, session: Session, config: &SkypeConfig) -> SkypeReport {
+    let pop = &scenario.population;
+    assert!(pop.hosts().len() >= 3, "need at least one candidate relay");
+    let mut rng = StdRng::seed_from_u64(
+        config.seed ^ (u64::from(session.caller.0) << 32) ^ u64::from(session.callee.0),
+    );
+
+    // Candidate supernodes: sampled by bandwidth (powerful peers become
+    // supernodes), never the endpoints, AS-unaware.
+    let mut candidates: Vec<HostId> = Vec::new();
+    let hosts = pop.hosts();
+    while candidates.len() < config.candidate_pool.min(hosts.len().saturating_sub(2)) {
+        let h = &hosts[rng.gen_range(0..hosts.len())];
+        if h.id == session.caller || h.id == session.callee || candidates.contains(&h.id) {
+            continue;
+        }
+        // Bandwidth-biased acceptance: fast peers are more likely
+        // supernodes.
+        let accept = (h.nodal.bandwidth_kbps as f64 / 100_000.0).clamp(0.05, 1.0);
+        if rng.gen_bool(accept) {
+            candidates.push(h.id);
+        }
+    }
+
+    let true_rtt = |relay: Option<HostId>| -> Option<f64> {
+        match relay {
+            None => scenario.host_rtt_ms(session.caller, session.callee),
+            Some(r) => scenario.one_hop_rtt_ms(session.caller, r, session.callee),
+        }
+    };
+
+    let mut probes = Vec::new();
+    let mut switches = Vec::new();
+    let mut queue: EventQueue<Event> = EventQueue::new();
+
+    // Measure the direct path first; it is the initial current path.
+    let mut current: Option<HostId> = None;
+    let mut current_measured = f64::INFINITY;
+    if let Some(direct) = true_rtt(None) {
+        let measured = direct * (1.0 + config.measurement_noise * (2.0 * rng.gen::<f64>() - 1.0));
+        probes.push(ProbeRecord {
+            at: SimTime::ZERO,
+            relay: None,
+            measured_rtt_ms: measured,
+        });
+        current_measured = measured;
+    }
+
+    queue.schedule(SimTime(0), Event::ProbeRound);
+    queue.schedule(SimTime(config.call_duration_ms), Event::EndCall);
+
+    let mut rounds_without_switch = 0u32;
+    let mut probed: Vec<HostId> = Vec::new();
+    let mut best_known: Vec<HostId> = Vec::new();
+    let mut background_probed: std::collections::HashSet<HostId> = Default::default();
+    'sim: while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::EndCall => break 'sim,
+            Event::ProbeRound => {
+                // In the background regime (no recent switch) the client
+                // mostly re-measures its handful of best-known relays and
+                // only occasionally tries a fresh one — the paper observes
+                // 3–6 distinct relays probed after stabilization.
+                let background = rounds_without_switch > config.slowdown_after_rounds;
+                let probes_now = if background {
+                    1
+                } else {
+                    config.probes_per_round
+                };
+                for _ in 0..probes_now {
+                    let pick_known = background && !best_known.is_empty() && rng.gen_bool(0.95);
+                    let relay = if pick_known {
+                        best_known[rng.gen_range(0..best_known.len())]
+                    } else {
+                        match candidates.choose(&mut rng) {
+                            Some(&r) => r,
+                            None => break,
+                        }
+                    };
+                    let Some(truth) = true_rtt(Some(relay)) else {
+                        continue;
+                    };
+                    let noise = 1.0 + config.measurement_noise * (2.0 * rng.gen::<f64>() - 1.0);
+                    let measured = truth * noise;
+                    probes.push(ProbeRecord {
+                        at: now,
+                        relay: Some(relay),
+                        measured_rtt_ms: measured,
+                    });
+                    if !probed.contains(&relay) {
+                        probed.push(relay);
+                    }
+                    if background {
+                        background_probed.insert(relay);
+                    }
+                    // Track the few best-measured relays for background
+                    // re-probing.
+                    if !best_known.contains(&relay) {
+                        best_known.push(relay);
+                        best_known.sort_by(|&x, &y| {
+                            let m = |h: HostId| {
+                                probes
+                                    .iter()
+                                    .rev()
+                                    .find(|p| p.relay == Some(h))
+                                    .map(|p| p.measured_rtt_ms)
+                                    .unwrap_or(f64::INFINITY)
+                            };
+                            m(x).total_cmp(&m(y))
+                        });
+                        best_known.truncate(4);
+                    }
+                    if measured + config.switch_margin_ms < current_measured {
+                        current = Some(relay);
+                        current_measured = measured;
+                        switches.push(Switch {
+                            at: now,
+                            to: current,
+                            measured_rtt_ms: measured,
+                        });
+                        rounds_without_switch = 0;
+                    }
+                }
+                rounds_without_switch = rounds_without_switch.saturating_add(1);
+                let interval = if rounds_without_switch > config.slowdown_after_rounds {
+                    config.probe_interval_ms * 4
+                } else {
+                    config.probe_interval_ms
+                };
+                // Jittered next round.
+                let jitter = rng.gen_range(0..=interval / 4);
+                queue.schedule(now.after_ms(interval + jitter), Event::ProbeRound);
+            }
+        }
+    }
+
+    let stabilization = switches.last().map(|s| s.at).unwrap_or(SimTime::ZERO);
+    let mut same_as_pairs = 0;
+    for i in 0..probed.len() {
+        for j in (i + 1)..probed.len() {
+            if pop.host(probed[i]).asn == pop.host(probed[j]).asn {
+                same_as_pairs += 1;
+            }
+        }
+    }
+
+    SkypeReport {
+        session,
+        major_rtt_ms: true_rtt(current).unwrap_or(f64::INFINITY),
+        major_relay: current,
+        stabilization_s: stabilization.as_secs_f64(),
+        probed_total: probed.len(),
+        probed_after_stabilization: background_probed.len(),
+        same_as_pairs,
+        probes,
+        switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_workload::{Scenario, ScenarioConfig};
+
+    fn scenario() -> Scenario {
+        Scenario::build(ScenarioConfig::tiny(), 9)
+    }
+
+    fn session(s: &Scenario, i: usize, j: usize) -> Session {
+        let hosts = s.population.hosts();
+        Session {
+            caller: hosts[i].id,
+            callee: hosts[j].id,
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let s = scenario();
+        let sess = session(&s, 0, 120);
+        let a = simulate_call(&s, sess, &SkypeConfig::default());
+        let b = simulate_call(&s, sess, &SkypeConfig::default());
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.major_relay, b.major_relay);
+    }
+
+    #[test]
+    fn probes_are_time_ordered_and_bounded_by_call() {
+        let s = scenario();
+        let r = simulate_call(&s, session(&s, 1, 90), &SkypeConfig::default());
+        let cfg = SkypeConfig::default();
+        for w in r.probes.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(r
+            .probes
+            .iter()
+            .all(|p| p.at.as_ms() <= cfg.call_duration_ms));
+    }
+
+    #[test]
+    fn stabilization_is_the_last_switch() {
+        let s = scenario();
+        let r = simulate_call(&s, session(&s, 2, 77), &SkypeConfig::default());
+        match r.switches.last() {
+            Some(last) => assert_eq!(r.stabilization_s, last.at.as_secs_f64()),
+            None => assert_eq!(r.stabilization_s, 0.0),
+        }
+    }
+
+    #[test]
+    fn probed_counts_are_consistent() {
+        let s = scenario();
+        let r = simulate_call(&s, session(&s, 3, 60), &SkypeConfig::default());
+        assert!(r.probed_after_stabilization <= r.probed_total);
+        assert!(r.probed_total <= SkypeConfig::default().candidate_pool);
+    }
+
+    #[test]
+    fn different_directions_can_choose_different_majors() {
+        // Asymmetric sessions (§5.1): forward and backward directions are
+        // independent hunts. With different seeds at least the probe
+        // streams differ.
+        let s = scenario();
+        let fwd = simulate_call(&s, session(&s, 4, 140), &SkypeConfig::default());
+        let bwd = simulate_call(
+            &s,
+            Session {
+                caller: fwd.session.callee,
+                callee: fwd.session.caller,
+            },
+            &SkypeConfig::default(),
+        );
+        assert_ne!(fwd.probes, bwd.probes);
+    }
+
+    #[test]
+    fn switching_only_improves_measured_rtt() {
+        let s = scenario();
+        let r = simulate_call(&s, session(&s, 5, 130), &SkypeConfig::default());
+        for w in r.switches.windows(2) {
+            assert!(w[1].measured_rtt_ms < w[0].measured_rtt_ms);
+        }
+    }
+
+    #[test]
+    fn same_as_probing_happens_without_as_awareness() {
+        // Limit 2: over several sessions, an AS-unaware prober will probe
+        // multiple relays in one AS at least once.
+        let s = scenario();
+        let mut total_same_as = 0;
+        for i in 0..8 {
+            let r = simulate_call(&s, session(&s, i, 100 + i), &SkypeConfig::default());
+            total_same_as += r.same_as_pairs;
+        }
+        assert!(
+            total_same_as > 0,
+            "expected at least one same-AS relay pair"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks for the hot paths of the ASAP stack:
+//! prefix-trie lookups, valley-free searches, BGP routing-tree
+//! construction, the E-model, close-cluster-set construction, and
+//! select-close-relay — the per-call critical path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use asap_cluster::{Asn, Ip, Prefix, PrefixTrie};
+use asap_core::close_set::{construct_close_cluster_set, ClusterIndex};
+use asap_core::{AsapConfig, AsapSystem};
+use asap_topology::routing::BgpRouter;
+use asap_topology::{valley, InternetConfig, InternetGenerator};
+use asap_voip::{emodel::EModel, Codec};
+use asap_workload::{sessions, Scenario, ScenarioConfig};
+
+fn bench_trie(c: &mut Criterion) {
+    let mut trie = PrefixTrie::new();
+    for i in 0..10_000u32 {
+        trie.insert(Prefix::new(Ip((10 << 24) | (i << 10)), 22), i);
+    }
+    c.bench_function("trie_longest_match_10k", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(2_654_435_761);
+            black_box(trie.longest_match(Ip((10 << 24) | (x % (10_000 << 10)))))
+        })
+    });
+}
+
+fn bench_valley(c: &mut Criterion) {
+    let net = InternetGenerator::new(InternetConfig::tiny(), 1).generate();
+    let origin = net.stub_asns()[0];
+    c.bench_function("valley_free_bounded_search_k4", |b| {
+        b.iter(|| {
+            black_box(valley::bounded_search(&net.graph, origin, 4, |_| {
+                valley::Expand::Continue
+            }))
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let net = InternetGenerator::new(InternetConfig::tiny(), 2).generate();
+    let dests = net.stub_asns();
+    c.bench_function("bgp_routing_tree", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            // Fresh router each call: measure tree construction, not the
+            // cache.
+            let mut router = BgpRouter::new();
+            i = (i + 1) % dests.len();
+            black_box(router.path(&net.graph, dests[(i + 7) % dests.len()], dests[i]))
+        })
+    });
+}
+
+fn bench_emodel(c: &mut Criterion) {
+    let model = EModel::new(Codec::G729aVad);
+    c.bench_function("emodel_mos", |b| {
+        let mut d = 0.0f64;
+        b.iter(|| {
+            d = (d + 1.7) % 500.0;
+            black_box(model.mos_from_rtt(d, 0.005))
+        })
+    });
+}
+
+fn bench_asap(c: &mut Criterion) {
+    let scenario = Scenario::build(ScenarioConfig::tiny(), 3);
+    let index = ClusterIndex::build(&scenario);
+    let config = AsapConfig::default();
+    let clusters = scenario.population.clustering().clusters();
+    c.bench_function("construct_close_cluster_set", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % clusters.len();
+            black_box(construct_close_cluster_set(
+                &scenario,
+                &index,
+                &|cl| scenario.delegate_of(cl),
+                clusters[i].id(),
+                &config,
+            ))
+        })
+    });
+
+    let system = AsapSystem::bootstrap(&scenario, config);
+    let sess = sessions::generate(&scenario.population, 64, 5);
+    c.bench_function("asap_call_end_to_end", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % sess.len();
+            black_box(system.call(sess[i].caller, sess[i].callee))
+        })
+    });
+}
+
+fn bench_gao(c: &mut Criterion) {
+    let net = InternetGenerator::new(InternetConfig::tiny(), 4).generate();
+    let stubs = net.stub_asns();
+    let announcements: Vec<(Prefix, Asn)> = stubs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (Prefix::new(Ip::from_octets([10, 0, i as u8, 0]), 24), a))
+        .collect();
+    let rib = asap_topology::rib::collect_rib(
+        &net.graph,
+        &announcements,
+        &asap_topology::rib::RibConfig::default(),
+    );
+    let paths: Vec<Vec<Asn>> = rib.iter().map(|e| e.as_path.clone()).collect();
+    c.bench_function("gao_inference", |b| {
+        b.iter(|| black_box(asap_topology::gao::infer(&paths, &Default::default())))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_trie, bench_valley, bench_routing, bench_emodel, bench_asap, bench_gao
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figure 1 — the all-pairwise cluster-delegate latency measurement
+//! procedure, re-run end to end on the synthetic world:
+//!
+//! crawl (peer population) → BGP prefix/origin extraction → AS-level
+//! cluster identification and delegate selection → King pairwise
+//! measurement with non-response and noise.
+//!
+//! The paper's campaign produced: 269,413 crawled IPs of which 103,625
+//! matched BGP prefixes, 7,171 prefix clusters, 1,461 ASes, and 1,498,749
+//! responses from 2,130,140 delegate-pair King queries (~70%).
+
+use asap_bench::{row, section, Args, Scale};
+use asap_cluster::{ClusterLevel, Clustering};
+use asap_netsim::king::{KingConfig, KingEstimator};
+use asap_topology::rib::{collect_rib, extract_prefix_table, RibConfig};
+
+fn main() {
+    let args = Args::parse(Scale::Tiny);
+    eprintln!(
+        "fig1: building scenario ({:?}, seed {})…",
+        args.scale, args.seed
+    );
+    let scenario = args.scenario();
+
+    // Step 1-2: crawl + BGP tables. The "crawl" also picks up IPs whose
+    // prefixes no collector saw (the paper kept only 103,625 of 269,413);
+    // we emulate the partial view with a reduced vantage set.
+    let rib = collect_rib(
+        &scenario.internet.graph,
+        scenario.population.announcements(),
+        &RibConfig {
+            vantage_points: 8,
+            seed: args.seed,
+        },
+    );
+    let table = extract_prefix_table(&rib);
+    let ips: Vec<asap_cluster::Ip> = scenario.population.hosts().iter().map(|h| h.ip).collect();
+
+    section("Crawl + prefix matching");
+    row(&[&"crawled IPs", &ips.len()]);
+    let by_prefix = Clustering::from_ips(&ips, &table, ClusterLevel::Prefix);
+    let by_as = Clustering::from_ips(&ips, &table, ClusterLevel::As);
+    row(&[&"matched IPs", &by_prefix.peer_count()]);
+    row(&[&"unmatched (dropped)", &by_prefix.unmatched().len()]);
+    row(&[&"prefix clusters", &by_prefix.cluster_count()]);
+    row(&[&"ASes with peers", &by_as.cluster_count()]);
+
+    // Step 3-4: delegates + pairwise King measurement.
+    section("Pairwise delegate King measurement");
+    let delegates: Vec<_> = by_prefix.delegates().collect();
+    let king = KingEstimator::new(&scenario.net, KingConfig::default(), args.seed ^ 0x16);
+    let mut responses = 0u64;
+    let mut rtts = Vec::new();
+    for i in 0..delegates.len() {
+        for j in (i + 1)..delegates.len() {
+            let a = scenario.population.host_by_ip(delegates[i].1).unwrap().asn;
+            let b = scenario.population.host_by_ip(delegates[j].1).unwrap().asn;
+            if let Some(rtt) = king.measure_rtt_ms(a, b) {
+                responses += 1;
+                rtts.push(rtt);
+            }
+        }
+    }
+    let pairs = king.probes_issued();
+    row(&[&"delegate pairs probed", &pairs]);
+    row(&[&"responses", &responses]);
+    row(&[
+        &"response rate",
+        &format!("{:.2}", responses as f64 / pairs.max(1) as f64),
+    ]);
+    rtts.sort_by(f64::total_cmp);
+    if !rtts.is_empty() {
+        row(&[
+            &"measured RTT p50 (ms)",
+            &format!("{:.1}", rtts[rtts.len() / 2]),
+        ]);
+        row(&[
+            &"measured RTT p95 (ms)",
+            &format!("{:.1}", rtts[(rtts.len() as f64 * 0.95) as usize]),
+        ]);
+    }
+    println!(
+        "\n# Paper: 2,130,140 pairs → 1,498,749 responses (70%); 103,625 matched IPs\n\
+         # in 7,171 prefix clusters / 1,461 ASes."
+    );
+}

@@ -1,0 +1,84 @@
+//! Figure 2 — RTT distribution of direct IP routing and optimal one-hop
+//! relay.
+//!
+//! Fig. 2(a): of 10^5 random sessions, ~10^4 have direct RTT > 200 ms,
+//! ~10^3 have > 300 ms, ~10 exceed 5 s. Fig. 2(b): ~60% of sessions have
+//! an optimal one-hop RTT shorter than their direct RTT, and most optimal
+//! one-hop RTTs fall below 100 ms.
+
+use asap_baselines::{Opt, RelaySelector};
+use asap_bench::{frac_above, percentile, row, section, sorted, Args, Scale};
+use asap_voip::QualityRequirement;
+use asap_workload::sessions;
+
+fn main() {
+    let args = Args::parse(Scale::Tiny);
+    eprintln!(
+        "fig2: building scenario ({:?}, seed {})…",
+        args.scale, args.seed
+    );
+    let scenario = args.scenario();
+    let all = sessions::generate(&scenario.population, args.sessions, args.seed ^ 0xF162);
+    let with = sessions::with_direct_routes(&scenario, &all);
+    let direct: Vec<f64> = with.iter().map(|s| s.direct_rtt_ms).collect();
+    let direct_sorted = sorted(&direct);
+
+    section("Fig. 2(a): direct IP routing RTT distribution");
+    row(&[&"threshold(ms)", &"sessions above", &"fraction"]);
+    for t in [100.0, 200.0, 300.0, 500.0, 1000.0, 5000.0] {
+        let above = direct.iter().filter(|&&r| r > t).count();
+        row(&[&t, &above, &format!("{:.5}", frac_above(&direct, t))]);
+    }
+    row(&[
+        &"p50",
+        &format!("{:.1}", percentile(&direct_sorted, 0.5)),
+        &"",
+    ]);
+    row(&[
+        &"p90",
+        &format!("{:.1}", percentile(&direct_sorted, 0.9)),
+        &"",
+    ]);
+    row(&[
+        &"p99",
+        &format!("{:.1}", percentile(&direct_sorted, 0.99)),
+        &"",
+    ]);
+
+    // Fig. 2(b): direct vs optimal one-hop on a sample (OPT is exhaustive,
+    // so subsample for tractability at larger scales).
+    let sample = with.len().min(400);
+    let opt = Opt::new().with_two_hop_candidates(0);
+    let req = QualityRequirement::default();
+    let mut improved = 0usize;
+    let mut opt_rtts = Vec::new();
+    for s in with.iter().take(sample) {
+        let out = opt.select(&scenario, s.session, &req);
+        if let Some(best) = out.best {
+            if best.rtt_ms < s.direct_rtt_ms {
+                improved += 1;
+            }
+            opt_rtts.push(best.rtt_ms.min(s.direct_rtt_ms));
+        }
+    }
+    section("Fig. 2(b): direct vs optimal one-hop (sampled)");
+    row(&[&"sampled sessions", &sample]);
+    row(&[
+        &"1-hop beats direct",
+        &improved,
+        &format!("{:.2}", improved as f64 / sample as f64),
+    ]);
+    let opt_sorted = sorted(&opt_rtts);
+    row(&[
+        &"optimal p50(ms)",
+        &format!("{:.1}", percentile(&opt_sorted, 0.5)),
+    ]);
+    row(&[
+        &"optimal p90(ms)",
+        &format!("{:.1}", percentile(&opt_sorted, 0.9)),
+    ]);
+    row(&[
+        &"optimal below 100ms",
+        &format!("{:.2}", 1.0 - frac_above(&opt_sorted, 100.0)),
+    ]);
+}

@@ -1,0 +1,72 @@
+//! Figure 3 — RTT reduction by optimal one-hop relay.
+//!
+//! Fig. 3(a): for sessions whose optimal one-hop beats the direct route,
+//! the reduction rate r = (direct − one-hop)/direct is spread evenly.
+//! Fig. 3(b): for every session with direct RTT > 300 ms, the optimal
+//! one-hop RTT falls below 300 ms — *in the paper's trace*. Our synthetic
+//! world also contains hopeless sessions (endpoint-adjacent congestion);
+//! the binary reports both counts so EXPERIMENTS.md can record the split.
+
+use asap_baselines::{Opt, RelaySelector};
+use asap_bench::{row, section, Args, Scale};
+use asap_voip::QualityRequirement;
+use asap_workload::sessions;
+
+fn main() {
+    let args = Args::parse(Scale::Tiny);
+    eprintln!(
+        "fig3: building scenario ({:?}, seed {})…",
+        args.scale, args.seed
+    );
+    let scenario = args.scenario();
+    let all = sessions::generate(&scenario.population, args.sessions, args.seed ^ 0xF163);
+    let with = sessions::with_direct_routes(&scenario, &all);
+    let opt = Opt::new().with_two_hop_candidates(0);
+    let req = QualityRequirement::default();
+
+    // Fig. 3(a): reduction-rate histogram on a sample of improved sessions.
+    let sample = with.len().min(400);
+    let mut reductions = Vec::new();
+    for s in with.iter().take(sample) {
+        if let Some(best) = opt.select(&scenario, s.session, &req).best {
+            if best.rtt_ms < s.direct_rtt_ms {
+                reductions.push((s.direct_rtt_ms - best.rtt_ms) / s.direct_rtt_ms);
+            }
+        }
+    }
+    section("Fig. 3(a): optimal one-hop RTT reduction rate (improved sessions)");
+    row(&[&"bucket", &"sessions"]);
+    for b in 0..10 {
+        let (lo, hi) = (b as f64 / 10.0, (b + 1) as f64 / 10.0);
+        let n = reductions.iter().filter(|&&r| r >= lo && r < hi).count();
+        row(&[&format!("{lo:.1}-{hi:.1}"), &n]);
+    }
+
+    // Fig. 3(b): latent sessions (direct > 300 ms) — how many does the
+    // optimal one-hop bring under 300 ms?
+    let latent = sessions::latent_sessions(&with, 300.0);
+    let mut relieved = 0usize;
+    let mut hopeless = 0usize;
+    let mut pairs = Vec::new();
+    for s in &latent {
+        match opt.select(&scenario, s.session, &req).best {
+            Some(best) if best.rtt_ms < 300.0 => {
+                relieved += 1;
+                pairs.push((s.direct_rtt_ms, best.rtt_ms));
+            }
+            Some(best) => {
+                hopeless += 1;
+                pairs.push((s.direct_rtt_ms, best.rtt_ms));
+            }
+            None => hopeless += 1,
+        }
+    }
+    section("Fig. 3(b): latent sessions (direct RTT > 300 ms)");
+    row(&[&"latent sessions", &latent.len()]);
+    row(&[&"relieved (<300ms via 1-hop)", &relieved]);
+    row(&[&"hopeless (no sub-300ms relay)", &hopeless]);
+    println!("# direct_rtt_ms -> optimal_1hop_rtt_ms (first 20)");
+    for (d, o) in pairs.iter().take(20) {
+        println!("{d:>10.1} -> {o:>8.1}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Figures 5–7 and Tables 1–2 — the Skype measurement study, regenerated
+//! with the AS-unaware Skype-like prober.
+//!
+//! The paper captures 14 calling sessions between 17 sites (Table 1 /
+//! Fig. 5) and reports: relay-path RTT time series of problem sessions
+//! (Fig. 6), stabilization times up to 329 s (Fig. 7(a)), tens of relays
+//! probed per session — 59 and 37 in sessions 10 and 11 (Fig. 7(b)), 3–6
+//! relays probed after stabilization (Fig. 7(c)), and two probed relays in
+//! one AS (Table 2).
+
+use asap_baselines::skype::{simulate_call, SkypeConfig};
+use asap_bench::{row, section, Args, Scale};
+use asap_workload::sessions::Session;
+use asap_workload::{HostId, Scenario};
+
+/// Picks 17 "measurement sites" spread across the world: hosts whose ASes
+/// are pairwise far apart, emulating the paper's US/Canada/China spread.
+fn pick_sites(scenario: &Scenario) -> Vec<HostId> {
+    let hosts = scenario.population.hosts();
+    let mut sites: Vec<HostId> = vec![hosts[0].id];
+    while sites.len() < 17 {
+        // Farthest-point sampling by coordinate distance.
+        let best = hosts
+            .iter()
+            .step_by(7)
+            .map(|h| {
+                let d: f64 = sites
+                    .iter()
+                    .map(|&s| {
+                        scenario
+                            .internet
+                            .distance(scenario.population.host(s).asn, h.asn)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                (h.id, d)
+            })
+            .filter(|(id, _)| !sites.contains(id))
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        match best {
+            Some((id, _)) => sites.push(id),
+            None => break,
+        }
+    }
+    sites
+}
+
+fn main() {
+    let args = Args::parse(Scale::Tiny);
+    eprintln!(
+        "fig6_7: building scenario ({:?}, seed {})…",
+        args.scale, args.seed
+    );
+    let scenario = args.scenario();
+    let sites = pick_sites(&scenario);
+
+    // Table 1: the paper's 14 caller–callee site pairs.
+    let pairs: [(usize, usize); 14] = [
+        (3, 5),
+        (1, 11),
+        (1, 7),
+        (1, 14),
+        (1, 3),
+        (1, 16),
+        (1, 15),
+        (1, 15),
+        (1, 9),
+        (1, 16),
+        (1, 13),
+        (1, 12),
+        (6, 8),
+        (2, 10),
+    ];
+    section("Table 1: 14 simulated calling sessions (site indices)");
+    row(&[&"session", &"caller", &"callee"]);
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        row(&[&(i + 1), &a, &b]);
+    }
+
+    let config = SkypeConfig {
+        seed: args.seed,
+        ..SkypeConfig::default()
+    };
+    let reports: Vec<_> = pairs
+        .iter()
+        .map(|&(a, b)| {
+            let session = Session {
+                caller: sites[a - 1],
+                callee: sites[b % sites.len()],
+            };
+            simulate_call(&scenario, session, &config)
+        })
+        .collect();
+
+    section("Fig. 6: relay-path RTT time series (sessions 4, 9, 10)");
+    for idx in [3usize, 8, 9] {
+        println!("# session {}: t(s)  measured_rtt(ms)  relay", idx + 1);
+        for p in reports[idx].probes.iter().take(25) {
+            println!(
+                "{:>8.1}  {:>10.1}  {}",
+                p.at.as_secs_f64(),
+                p.measured_rtt_ms,
+                p.relay
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "direct".into())
+            );
+        }
+        println!(
+            "# major path rtt {:.1} ms via {}",
+            reports[idx].major_rtt_ms,
+            reports[idx]
+                .major_relay
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "direct".into())
+        );
+    }
+
+    section("Fig. 7(a–c): stabilization time / probed nodes / probes after stabilization");
+    row(&[
+        &"session",
+        &"stabilization(s)",
+        &"probed",
+        &"after-stab",
+        &"same-AS pairs",
+    ]);
+    for (i, r) in reports.iter().enumerate() {
+        row(&[
+            &(i + 1),
+            &format!("{:.1}", r.stabilization_s),
+            &r.probed_total,
+            &r.probed_after_stabilization,
+            &r.same_as_pairs,
+        ]);
+    }
+    let max_stab = reports
+        .iter()
+        .map(|r| r.stabilization_s)
+        .fold(0.0, f64::max);
+    let max_probed = reports.iter().map(|r| r.probed_total).max().unwrap_or(0);
+    row(&[&"max", &format!("{max_stab:.1}"), &max_probed, &"", &""]);
+
+    // §5.1: forward and backward directions hunt independently, so some
+    // sessions end up with different major paths per direction
+    // ("asymmetric sessions"; the paper found several, plus 4 symmetric
+    // sessions on direct paths and 7 on one-hop relays).
+    section("§5.1: major-path symmetry across directions");
+    let mut asymmetric = 0;
+    let mut direct_majors = 0;
+    let mut relay_majors = 0;
+    for &(a, b) in &pairs {
+        let fwd = Session {
+            caller: sites[a - 1],
+            callee: sites[b % sites.len()],
+        };
+        let bwd = Session {
+            caller: fwd.callee,
+            callee: fwd.caller,
+        };
+        let rf = simulate_call(&scenario, fwd, &config);
+        let rb = simulate_call(&scenario, bwd, &config);
+        if rf.major_relay != rb.major_relay {
+            asymmetric += 1;
+        }
+        for r in [&rf, &rb] {
+            if r.major_relay.is_none() {
+                direct_majors += 1;
+            } else {
+                relay_majors += 1;
+            }
+        }
+    }
+    row(&[&"asymmetric sessions", &asymmetric, &"of", &pairs.len()]);
+    row(&[&"direct major paths (both directions)", &direct_majors]);
+    row(&[&"relayed major paths (both directions)", &relay_majors]);
+
+    section("Table 2: probed relay pairs sharing an AS (limit 2)");
+    let mut shown = 0;
+    for (i, r) in reports.iter().enumerate() {
+        if r.same_as_pairs > 0 && shown < 3 {
+            // Find one concrete pair for the table.
+            let mut seen: Vec<HostId> = Vec::new();
+            for p in r.probes.iter().filter_map(|p| p.relay) {
+                if !seen.contains(&p) {
+                    seen.push(p);
+                }
+            }
+            'outer: for x in 0..seen.len() {
+                for y in (x + 1)..seen.len() {
+                    let (hx, hy) = (
+                        scenario.population.host(seen[x]),
+                        scenario.population.host(seen[y]),
+                    );
+                    if hx.asn == hy.asn {
+                        println!(
+                            "session {:>2}: relays {} and {} both in {} ({} same-AS pairs total)",
+                            i + 1,
+                            hx.ip,
+                            hy.ip,
+                            hx.asn,
+                            r.same_as_pairs
+                        );
+                        shown += 1;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    if shown == 0 {
+        println!("(no same-AS relay pair in this run — rerun with another --seed)");
+    }
+}

@@ -1,0 +1,193 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the ASAP
+//! paper (see DESIGN.md §4 for the index and EXPERIMENTS.md for recorded
+//! paper-vs-measured results). They share scale presets, CLI parsing, and
+//! the CDF/percentile/table plumbing defined here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+use asap_workload::{PopulationConfig, Scenario, ScenarioConfig};
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A few hundred peers — smoke-test the binary in under a second.
+    Tiny,
+    /// 23,366 peers — the scale of the paper's §7.2 figures.
+    Eval,
+    /// 103,625 peers — the §7.3 scalability scale.
+    Scalability,
+}
+
+impl Scale {
+    /// The scenario configuration for this scale.
+    pub fn scenario_config(self) -> ScenarioConfig {
+        match self {
+            Scale::Tiny => ScenarioConfig {
+                internet: asap_topology::InternetConfig::default(),
+                population: PopulationConfig {
+                    target_hosts: 2_000,
+                    ..Default::default()
+                },
+                ..ScenarioConfig::tiny()
+            },
+            Scale::Eval => ScenarioConfig::eval_scale(),
+            Scale::Scalability => ScenarioConfig::scalability_scale(),
+        }
+    }
+
+    /// The number of random sessions the paper generates at this scale.
+    pub fn default_sessions(self) -> usize {
+        match self {
+            Scale::Tiny => 10_000,
+            Scale::Eval | Scale::Scalability => 100_000,
+        }
+    }
+}
+
+/// Parsed command-line arguments common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Scale preset (`--scale tiny|eval|scalability`).
+    pub scale: Scale,
+    /// Number of sessions (`--sessions N`).
+    pub sessions: usize,
+    /// Master seed (`--seed N`).
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `std::env::args()`, with `default_scale` when `--scale` is
+    /// absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(default_scale: Scale) -> Args {
+        let mut scale = default_scale;
+        let mut sessions = None;
+        let mut seed = 1;
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let need_value = |i: usize| {
+                argv.get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value after {}", argv[i]))
+                    .clone()
+            };
+            match argv[i].as_str() {
+                "--scale" => {
+                    scale = match need_value(i).as_str() {
+                        "tiny" => Scale::Tiny,
+                        "eval" => Scale::Eval,
+                        "scalability" => Scale::Scalability,
+                        other => panic!("unknown scale {other:?} (tiny|eval|scalability)"),
+                    };
+                    i += 2;
+                }
+                "--sessions" => {
+                    sessions = Some(need_value(i).parse().expect("--sessions takes a number"));
+                    i += 2;
+                }
+                "--seed" => {
+                    seed = need_value(i).parse().expect("--seed takes a number");
+                    i += 2;
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        let sessions = sessions.unwrap_or_else(|| scale.default_sessions());
+        Args {
+            scale,
+            sessions,
+            seed,
+        }
+    }
+
+    /// Builds the scenario for these arguments.
+    pub fn scenario(&self) -> Scenario {
+        Scenario::build(self.scale.scenario_config(), self.seed)
+    }
+}
+
+/// Sorts a copy of `values` and returns it (tiny helper for CDF work).
+pub fn sorted(values: &[f64]) -> Vec<f64> {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    v
+}
+
+/// The `p`-th percentile (0 ≤ p ≤ 1) of already-sorted values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of no data");
+    let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Fraction of values strictly above `threshold`.
+pub fn frac_above(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v > threshold).count() as f64 / values.len() as f64
+}
+
+/// Prints a CDF as `value  P(X ≤ value)` rows at the given probe points.
+pub fn print_cdf(label: &str, sorted: &[f64], probes: &[f64]) {
+    println!("# CDF: {label} (n = {})", sorted.len());
+    for &x in probes {
+        let le = sorted.iter().take_while(|&&v| v <= x).count();
+        println!("{x:>12.1}  {:>8.4}", le as f64 / sorted.len().max(1) as f64);
+    }
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[&dyn Display]) {
+    let mut line = String::new();
+    for c in cells {
+        line.push_str(&format!("{:>14}", c.to_string()));
+    }
+    println!("{line}");
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_and_frac() {
+        let v = sorted(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(frac_above(&v, 3.0), 0.4);
+        assert_eq!(frac_above(&[], 3.0), 0.0);
+    }
+
+    #[test]
+    fn scales_build() {
+        let cfg = Scale::Tiny.scenario_config();
+        assert!(cfg.population.target_hosts >= 1_000);
+        assert_eq!(
+            Scale::Eval.scenario_config().population.target_hosts,
+            23_366
+        );
+        assert_eq!(
+            Scale::Scalability.scenario_config().population.target_hosts,
+            103_625
+        );
+    }
+}

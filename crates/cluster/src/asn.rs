@@ -1,0 +1,86 @@
+//! Autonomous-system numbers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An Autonomous System number, e.g. `AS7018`.
+///
+/// The Internet consists of ASes, each administrated by a single
+/// organization that enforces its own routing policy; inter-AS routing is
+/// governed by BGP. ASAP's relay selection reasons at AS granularity, so
+/// this identifier appears throughout the workspace.
+///
+/// ```
+/// use asap_cluster::Asn;
+/// let asn: Asn = "AS7018".parse()?;
+/// assert_eq!(asn, Asn(7018));
+/// assert_eq!(asn.to_string(), "AS7018");
+/// # Ok::<(), asap_cluster::ParseAsnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(raw: u32) -> Self {
+        Asn(raw)
+    }
+}
+
+/// Error returned when parsing an [`Asn`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsnError {
+    input: String,
+}
+
+impl fmt::Display for ParseAsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AS number syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseAsnError {}
+
+impl FromStr for Asn {
+    type Err = ParseAsnError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseAsnError {
+            input: s.to_owned(),
+        };
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
+        digits.parse::<u32>().map(Asn).map_err(|_| err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_with_and_without_prefix() {
+        assert_eq!("AS65000".parse::<Asn>().unwrap(), Asn(65000));
+        assert_eq!("as12".parse::<Asn>().unwrap(), Asn(12));
+        assert_eq!("7018".parse::<Asn>().unwrap(), Asn(7018));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "AS", "ASx", "AS-1", "4294967296"] {
+            assert!(s.parse::<Asn>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Asn(7018).to_string(), "AS7018");
+    }
+}

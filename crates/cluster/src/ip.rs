@@ -1,0 +1,304 @@
+//! IPv4 addresses and CIDR prefixes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A compact IPv4 address.
+///
+/// Stored as a host-order `u32` so that prefix arithmetic (masking, bit
+/// extraction) is cheap. Formats and parses in the usual dotted-quad
+/// notation.
+///
+/// ```
+/// use asap_cluster::Ip;
+/// let ip: Ip = "192.168.1.7".parse()?;
+/// assert_eq!(ip.octets(), [192, 168, 1, 7]);
+/// assert_eq!(ip.to_string(), "192.168.1.7");
+/// # Ok::<(), asap_cluster::ParseIpError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    /// Builds an address from four dotted-quad octets.
+    pub fn from_octets(o: [u8; 4]) -> Self {
+        Ip(u32::from_be_bytes(o))
+    }
+
+    /// Returns the four dotted-quad octets.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns bit `i` of the address, counting from the most significant
+    /// bit (bit 0 is the top bit of the first octet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    pub fn bit(self, i: u8) -> u8 {
+        assert!(i < 32, "bit index {i} out of range for an IPv4 address");
+        ((self.0 >> (31 - i)) & 1) as u8
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl From<[u8; 4]> for Ip {
+    fn from(o: [u8; 4]) -> Self {
+        Ip::from_octets(o)
+    }
+}
+
+impl From<u32> for Ip {
+    fn from(raw: u32) -> Self {
+        Ip(raw)
+    }
+}
+
+/// Error returned when parsing an [`Ip`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIpError {
+    input: String,
+}
+
+impl fmt::Display for ParseIpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseIpError {}
+
+impl FromStr for Ip {
+    type Err = ParseIpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseIpError {
+            input: s.to_owned(),
+        };
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut octets {
+            let part = parts.next().ok_or_else(err)?;
+            if part.is_empty() || part.len() > 3 || (part.len() > 1 && part.starts_with('0')) {
+                return Err(err());
+            }
+            *slot = part.parse().map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(Ip::from_octets(octets))
+    }
+}
+
+/// An IPv4 CIDR prefix such as `10.1.0.0/16`.
+///
+/// Invariant: all host bits below the prefix length are zero; constructors
+/// enforce this by masking.
+///
+/// ```
+/// use asap_cluster::{Ip, Prefix};
+/// let p: Prefix = "10.1.0.0/16".parse()?;
+/// assert!(p.contains("10.1.200.3".parse::<Ip>().unwrap()));
+/// assert!(!p.contains("10.2.0.1".parse::<Ip>().unwrap()));
+/// # Ok::<(), asap_cluster::ParsePrefixError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    base: Ip,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix from a base address and a length in bits, masking
+    /// away any host bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(base: Ip, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} exceeds 32 bits");
+        Prefix {
+            base: Ip(base.0 & Self::mask(len)),
+            len,
+        }
+    }
+
+    /// The network mask for a prefix of length `len`.
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The (masked) base address of the prefix.
+    pub fn base(self) -> Ip {
+        self.base
+    }
+
+    /// The prefix length in bits.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default prefix `0.0.0.0/0`.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Tests whether `ip` falls inside this prefix.
+    pub fn contains(self, ip: Ip) -> bool {
+        (ip.0 & Self::mask(self.len)) == self.base.0
+    }
+
+    /// Tests whether `other` is fully contained in (or equal to) `self`.
+    pub fn covers(self, other: Prefix) -> bool {
+        self.len <= other.len && self.contains(other.base)
+    }
+
+    /// The number of addresses in the prefix (2^(32−len)), saturating for
+    /// `/0`.
+    pub fn size(self) -> u64 {
+        1u64 << (32 - self.len as u64)
+    }
+
+    /// The `i`-th address inside the prefix, wrapping within the prefix
+    /// size. Useful for deterministically enumerating host addresses.
+    pub fn nth(self, i: u64) -> Ip {
+        Ip(self.base.0.wrapping_add((i % self.size()) as u32))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.len)
+    }
+}
+
+/// Error returned when parsing a [`Prefix`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError {
+    input: String,
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CIDR prefix syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePrefixError {
+            input: s.to_owned(),
+        };
+        let (addr, len) = s.split_once('/').ok_or_else(err)?;
+        let base: Ip = addr.parse().map_err(|_| err())?;
+        let len: u8 = len.parse().map_err(|_| err())?;
+        if len > 32 {
+            return Err(err());
+        }
+        Ok(Prefix::new(base, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_roundtrip() {
+        for s in ["0.0.0.0", "255.255.255.255", "10.1.2.3", "192.168.0.1"] {
+            let ip: Ip = s.parse().unwrap();
+            assert_eq!(ip.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn ip_rejects_garbage() {
+        for s in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.0.0.1",
+            "a.b.c.d",
+            "01.2.3.4",
+            "1..2.3",
+        ] {
+            assert!(s.parse::<Ip>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn ip_bits() {
+        let ip: Ip = "128.0.0.1".parse().unwrap();
+        assert_eq!(ip.bit(0), 1);
+        assert_eq!(ip.bit(1), 0);
+        assert_eq!(ip.bit(31), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ip_bit_out_of_range_panics() {
+        Ip(0).bit(32);
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Prefix::new("10.1.2.3".parse().unwrap(), 16);
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p: Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(p.contains("10.1.0.0".parse().unwrap()));
+        assert!(p.contains("10.1.255.255".parse().unwrap()));
+        assert!(!p.contains("10.2.0.0".parse().unwrap()));
+    }
+
+    #[test]
+    fn default_prefix_contains_everything() {
+        let p: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(p.contains(Ip(0)));
+        assert!(p.contains(Ip(u32::MAX)));
+        assert_eq!(p.size(), 1 << 32);
+    }
+
+    #[test]
+    fn prefix_covers() {
+        let p16: Prefix = "10.1.0.0/16".parse().unwrap();
+        let p24: Prefix = "10.1.2.0/24".parse().unwrap();
+        assert!(p16.covers(p24));
+        assert!(!p24.covers(p16));
+        assert!(p16.covers(p16));
+    }
+
+    #[test]
+    fn prefix_nth_stays_inside() {
+        let p: Prefix = "10.1.2.0/24".parse().unwrap();
+        for i in [0u64, 1, 255, 256, 1000] {
+            assert!(p.contains(p.nth(i)), "nth({i}) escaped the prefix");
+        }
+    }
+
+    #[test]
+    fn prefix_rejects_garbage() {
+        for s in ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/", "/8", "10.0.0.0/x"] {
+            assert!(s.parse::<Prefix>().is_err(), "{s} should not parse");
+        }
+    }
+}

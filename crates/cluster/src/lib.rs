@@ -1,0 +1,56 @@
+//! IP-prefix clustering substrate for the ASAP VoIP peer-relay system.
+//!
+//! The ASAP paper (Ren, Guo, Zhang — ICDCS 2006) groups peer IP addresses
+//! into *clusters*: all hosts sharing the same longest-matched BGP prefix
+//! (or, coarser, the same origin AS). Hosts inside a cluster are assumed to
+//! be topologically close to each other (Krishnamurthy & Wang, SIGCOMM'00),
+//! so the direct IP routing latency between two clusters can be estimated by
+//! measuring any pair of member hosts — in practice one *delegate* host per
+//! cluster.
+//!
+//! This crate provides the addressing and clustering machinery that the rest
+//! of the workspace builds on:
+//!
+//! * [`Ip`] and [`Prefix`] — compact IPv4 address / CIDR prefix types.
+//! * [`Asn`] — autonomous-system numbers.
+//! * [`PrefixTrie`] — a binary trie supporting longest-prefix match, the
+//!   same lookup BGP routers perform.
+//! * [`PrefixTable`] — an IP-prefix → origin-AS mapping table, as extracted
+//!   from BGP routing table dumps.
+//! * [`Clustering`] — groups a peer population into prefix-level or AS-level
+//!   clusters and selects per-cluster delegates.
+//!
+//! # Example
+//!
+//! ```
+//! use asap_cluster::{Ip, Prefix, Asn, PrefixTable, Clustering, ClusterLevel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut table = PrefixTable::new();
+//! table.insert("10.1.0.0/16".parse()?, Asn(65001));
+//! table.insert("10.1.2.0/24".parse()?, Asn(65002));
+//!
+//! // Longest-prefix match: 10.1.2.3 falls in the /24, not the /16.
+//! assert_eq!(table.origin_as("10.1.2.3".parse()?), Some(Asn(65002)));
+//!
+//! let ips: Vec<Ip> = vec!["10.1.2.3".parse()?, "10.1.2.9".parse()?, "10.1.5.1".parse()?];
+//! let clustering = Clustering::from_ips(&ips, &table, ClusterLevel::Prefix);
+//! assert_eq!(clustering.cluster_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asn;
+mod cluster;
+mod ip;
+mod table;
+mod trie;
+
+pub use asn::{Asn, ParseAsnError};
+pub use cluster::{Cluster, ClusterId, ClusterLevel, Clustering};
+pub use ip::{Ip, ParseIpError, ParsePrefixError, Prefix};
+pub use table::PrefixTable;
+pub use trie::PrefixTrie;

@@ -1,0 +1,145 @@
+//! The IP-prefix → origin-AS mapping table.
+
+use crate::asn::Asn;
+use crate::ip::{Ip, Prefix};
+use crate::trie::PrefixTrie;
+
+/// An IP-prefix → origin-AS mapping table.
+///
+/// The ASAP bootstrap nodes build this table from BGP routing table entries
+/// and updates: every announced prefix maps to the AS that originated the
+/// announcement (the last AS on the AS path). The table answers two
+/// questions the protocol needs:
+///
+/// * [`origin_as`](PrefixTable::origin_as) — which AS does an end host's IP
+///   belong to (longest-prefix match)?
+/// * [`matched_prefix`](PrefixTable::matched_prefix) — which prefix cluster
+///   does an end host fall into?
+///
+/// ```
+/// use asap_cluster::{Asn, PrefixTable};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut table = PrefixTable::new();
+/// table.insert("10.0.0.0/8".parse()?, Asn(1));
+/// table.insert("10.64.0.0/10".parse()?, Asn(2));
+/// assert_eq!(table.origin_as("10.64.1.1".parse()?), Some(Asn(2)));
+/// assert_eq!(table.origin_as("10.0.1.1".parse()?), Some(Asn(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrefixTable {
+    trie: PrefixTrie<Asn>,
+}
+
+impl PrefixTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PrefixTable {
+            trie: PrefixTrie::new(),
+        }
+    }
+
+    /// Inserts (or replaces) the origin AS of `prefix`, returning the
+    /// previous origin if the prefix was already mapped.
+    pub fn insert(&mut self, prefix: Prefix, origin: Asn) -> Option<Asn> {
+        self.trie.insert(prefix, origin)
+    }
+
+    /// Removes the mapping for `prefix` (a BGP withdrawal), returning the
+    /// previous origin if it was mapped.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<Asn> {
+        self.trie.remove(prefix)
+    }
+
+    /// Number of mapped prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// The origin AS of the longest prefix matching `ip`, if any.
+    pub fn origin_as(&self, ip: Ip) -> Option<Asn> {
+        self.trie.longest_match(ip).map(|(_, asn)| *asn)
+    }
+
+    /// The longest matched prefix for `ip`, with its origin AS.
+    pub fn matched_prefix(&self, ip: Ip) -> Option<(Prefix, Asn)> {
+        self.trie.longest_match(ip).map(|(p, asn)| (p, *asn))
+    }
+
+    /// The origin AS mapped to exactly `prefix`, if present.
+    pub fn origin_of_prefix(&self, prefix: Prefix) -> Option<Asn> {
+        self.trie.get(prefix).copied()
+    }
+
+    /// Iterates over all `(prefix, origin AS)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, Asn)> + '_ {
+        self.trie.iter().map(|(p, asn)| (p, *asn))
+    }
+}
+
+impl FromIterator<(Prefix, Asn)> for PrefixTable {
+    fn from_iter<I: IntoIterator<Item = (Prefix, Asn)>>(iter: I) -> Self {
+        PrefixTable {
+            trie: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Prefix, Asn)> for PrefixTable {
+    fn extend<I: IntoIterator<Item = (Prefix, Asn)>>(&mut self, iter: I) {
+        self.trie.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let table: PrefixTable = vec![(p("10.0.0.0/8"), Asn(1)), (p("10.1.0.0/16"), Asn(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(table.origin_as("10.1.0.1".parse().unwrap()), Some(Asn(2)));
+        assert_eq!(table.origin_as("10.2.0.1".parse().unwrap()), Some(Asn(1)));
+        assert_eq!(table.origin_as("11.0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn an_as_can_originate_multiple_prefixes() {
+        let table: PrefixTable = vec![(p("10.0.0.0/16"), Asn(7)), (p("20.0.0.0/16"), Asn(7))]
+            .into_iter()
+            .collect();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.origin_as("10.0.1.1".parse().unwrap()), Some(Asn(7)));
+        assert_eq!(table.origin_as("20.0.1.1".parse().unwrap()), Some(Asn(7)));
+    }
+
+    #[test]
+    fn reinsert_replaces_origin() {
+        let mut table = PrefixTable::new();
+        table.insert(p("10.0.0.0/8"), Asn(1));
+        assert_eq!(table.insert(p("10.0.0.0/8"), Asn(9)), Some(Asn(1)));
+        assert_eq!(table.origin_as("10.0.0.1".parse().unwrap()), Some(Asn(9)));
+    }
+
+    #[test]
+    fn matched_prefix_returns_the_prefix() {
+        let mut table = PrefixTable::new();
+        table.insert(p("10.1.0.0/16"), Asn(3));
+        let (prefix, asn) = table.matched_prefix("10.1.2.3".parse().unwrap()).unwrap();
+        assert_eq!(prefix, p("10.1.0.0/16"));
+        assert_eq!(asn, Asn(3));
+    }
+}

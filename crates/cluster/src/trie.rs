@@ -1,0 +1,306 @@
+//! A binary trie keyed by IPv4 prefixes, supporting longest-prefix match.
+
+use crate::ip::{Ip, Prefix};
+
+/// Arena index of a trie node. `u32::MAX` is reserved as "absent".
+type NodeIdx = u32;
+
+const NIL: NodeIdx = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    children: [NodeIdx; 2],
+    /// Value stored at this node, if a prefix terminates here.
+    value: Option<(Prefix, V)>,
+}
+
+impl<V> Node<V> {
+    fn empty() -> Self {
+        Node {
+            children: [NIL, NIL],
+            value: None,
+        }
+    }
+}
+
+/// A binary (radix-1) trie over IPv4 prefixes.
+///
+/// Supports exact insert/lookup by [`Prefix`] and *longest-prefix match* by
+/// [`Ip`] — the lookup a BGP router performs when forwarding a packet, and
+/// the one the ASAP paper uses to group peer IPs into clusters.
+///
+/// Nodes are kept in a flat arena (`Vec`) so the structure is compact and
+/// cache-friendly; no per-node allocation beyond the arena.
+///
+/// ```
+/// use asap_cluster::{Prefix, PrefixTrie};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut trie = PrefixTrie::new();
+/// trie.insert("10.0.0.0/8".parse()?, "coarse");
+/// trie.insert("10.1.0.0/16".parse()?, "fine");
+///
+/// let (prefix, value) = trie.longest_match("10.1.2.3".parse()?).unwrap();
+/// assert_eq!(prefix, "10.1.0.0/16".parse::<Prefix>()?);
+/// assert_eq!(*value, "fine");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    nodes: Vec<Node<V>>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::empty()],
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie stores no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `prefix` with `value`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let mut idx: NodeIdx = 0;
+        for depth in 0..prefix.len() {
+            let bit = prefix.base().bit(depth) as usize;
+            if self.nodes[idx as usize].children[bit] == NIL {
+                let new_idx = self.nodes.len() as NodeIdx;
+                self.nodes.push(Node::empty());
+                self.nodes[idx as usize].children[bit] = new_idx;
+            }
+            idx = self.nodes[idx as usize].children[bit];
+        }
+        let slot = &mut self.nodes[idx as usize].value;
+        let old = slot.take().map(|(_, v)| v);
+        *slot = Some((prefix, value));
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Looks up the value stored for exactly `prefix`.
+    pub fn get(&self, prefix: Prefix) -> Option<&V> {
+        let mut idx: NodeIdx = 0;
+        for depth in 0..prefix.len() {
+            let bit = prefix.base().bit(depth) as usize;
+            idx = self.nodes[idx as usize].children[bit];
+            if idx == NIL {
+                return None;
+            }
+        }
+        self.nodes[idx as usize].value.as_ref().map(|(_, v)| v)
+    }
+
+    /// Removes `prefix`, returning its value if it was present. Interior
+    /// nodes are kept (the arena never shrinks), which is fine for the
+    /// BGP-update workload where withdrawn prefixes are usually
+    /// re-announced shortly after.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<V> {
+        let mut idx: NodeIdx = 0;
+        for depth in 0..prefix.len() {
+            let bit = prefix.base().bit(depth) as usize;
+            idx = self.nodes[idx as usize].children[bit];
+            if idx == NIL {
+                return None;
+            }
+        }
+        let old = self.nodes[idx as usize].value.take().map(|(_, v)| v);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Returns the longest stored prefix containing `ip`, with its value.
+    pub fn longest_match(&self, ip: Ip) -> Option<(Prefix, &V)> {
+        let mut idx: NodeIdx = 0;
+        let mut best: Option<(Prefix, &V)> = None;
+        for depth in 0..=32u8 {
+            if let Some((p, v)) = &self.nodes[idx as usize].value {
+                best = Some((*p, v));
+            }
+            if depth == 32 {
+                break;
+            }
+            let bit = ip.bit(depth) as usize;
+            idx = self.nodes[idx as usize].children[bit];
+            if idx == NIL {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Iterates over all stored `(prefix, value)` pairs in depth-first
+    /// (lexicographic-by-bits) order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        Iter {
+            trie: self,
+            stack: vec![0],
+        }
+    }
+}
+
+impl<V> FromIterator<(Prefix, V)> for PrefixTrie<V> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, V)>>(iter: I) -> Self {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+impl<V> Extend<(Prefix, V)> for PrefixTrie<V> {
+    fn extend<I: IntoIterator<Item = (Prefix, V)>>(&mut self, iter: I) {
+        for (p, v) in iter {
+            self.insert(p, v);
+        }
+    }
+}
+
+/// Iterator over the `(prefix, value)` pairs of a [`PrefixTrie`], produced
+/// by [`PrefixTrie::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, V> {
+    trie: &'a PrefixTrie<V>,
+    stack: Vec<NodeIdx>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(idx) = self.stack.pop() {
+            let node = &self.trie.nodes[idx as usize];
+            // Push right then left so left (bit 0) is visited first.
+            for bit in [1usize, 0] {
+                if node.children[bit] != NIL {
+                    self.stack.push(node.children[bit]);
+                }
+            }
+            if let Some((p, v)) = &node.value {
+                return Some((*p, v));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ip {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn longest_match_prefers_more_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "a");
+        t.insert(p("10.1.0.0/16"), "b");
+        t.insert(p("10.1.2.0/24"), "c");
+        assert_eq!(t.longest_match(ip("10.1.2.3")).unwrap().1, &"c");
+        assert_eq!(t.longest_match(ip("10.1.9.1")).unwrap().1, &"b");
+        assert_eq!(t.longest_match(ip("10.9.9.9")).unwrap().1, &"a");
+        assert_eq!(t.longest_match(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        assert_eq!(t.longest_match(ip("1.2.3.4")).unwrap().1, &"default");
+        assert_eq!(t.longest_match(Ip(u32::MAX)).unwrap().1, &"default");
+    }
+
+    #[test]
+    fn host_route_matches_only_itself() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.1/32"), ());
+        assert!(t.longest_match(ip("10.0.0.1")).is_some());
+        assert!(t.longest_match(ip("10.0.0.2")).is_none());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/24", "0.0.0.0/0"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let mut got: Vec<Prefix> = t.iter().map(|(pr, _)| pr).collect();
+        got.sort();
+        let mut want: Vec<Prefix> = prefixes.iter().map(|s| p(s)).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_deletes_and_preserves_others() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        assert_eq!(t.remove(p("10.1.0.0/16")), Some(2));
+        assert_eq!(t.remove(p("10.1.0.0/16")), None);
+        assert_eq!(t.remove(p("12.0.0.0/8")), None);
+        assert_eq!(t.len(), 1);
+        // The /8 still matches what the /16 used to cover.
+        assert_eq!(t.longest_match(ip("10.1.2.3")).unwrap().1, &1);
+    }
+
+    #[test]
+    fn remove_then_reinsert() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.remove(p("10.0.0.0/8"));
+        assert!(t.is_empty());
+        t.insert(p("10.0.0.0/8"), 9);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&9));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: PrefixTrie<u32> = vec![(p("10.0.0.0/8"), 1), (p("11.0.0.0/8"), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 2);
+    }
+}

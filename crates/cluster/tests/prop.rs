@@ -1,0 +1,121 @@
+//! Property-based tests for the prefix trie and clustering invariants.
+
+use asap_cluster::{Asn, ClusterLevel, Clustering, Ip, Prefix, PrefixTable, PrefixTrie};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(base, len)| Prefix::new(Ip(base), len))
+}
+
+/// Brute-force longest-prefix match over a plain list, the reference
+/// implementation the trie must agree with.
+fn brute_force_lpm(entries: &[(Prefix, u32)], ip: Ip) -> Option<(Prefix, u32)> {
+    entries
+        .iter()
+        .filter(|(p, _)| p.contains(ip))
+        .max_by_key(|(p, _)| p.len())
+        .copied()
+}
+
+proptest! {
+    #[test]
+    fn trie_longest_match_agrees_with_brute_force(
+        entries in proptest::collection::vec((arb_prefix(), any::<u32>()), 0..64),
+        probes in proptest::collection::vec(any::<u32>(), 0..64),
+    ) {
+        // Deduplicate by prefix, keeping the last value, matching trie
+        // replace semantics.
+        let mut dedup: Vec<(Prefix, u32)> = Vec::new();
+        for (p, v) in &entries {
+            if let Some(slot) = dedup.iter_mut().find(|(q, _)| q == p) {
+                slot.1 = *v;
+            } else {
+                dedup.push((*p, *v));
+            }
+        }
+        let trie: PrefixTrie<u32> = dedup.iter().copied().collect();
+        prop_assert_eq!(trie.len(), dedup.len());
+        for raw in probes {
+            let ip = Ip(raw);
+            let got = trie.longest_match(ip).map(|(p, v)| (p, *v));
+            let want = brute_force_lpm(&dedup, ip);
+            prop_assert_eq!(got, want, "mismatch for {}", ip);
+        }
+    }
+
+    #[test]
+    fn trie_exact_get_matches_inserted(entries in proptest::collection::vec((arb_prefix(), any::<u32>()), 1..48)) {
+        let mut trie = PrefixTrie::new();
+        let mut last: std::collections::HashMap<Prefix, u32> = Default::default();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            last.insert(*p, *v);
+        }
+        for (p, v) in &last {
+            prop_assert_eq!(trie.get(*p), Some(v));
+        }
+    }
+
+    #[test]
+    fn prefix_masking_is_idempotent(base in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(Ip(base), len);
+        let q = Prefix::new(p.base(), len);
+        prop_assert_eq!(p, q);
+        prop_assert!(p.contains(p.base()));
+    }
+
+    #[test]
+    fn clustering_partitions_matched_ips(
+        raw_ips in proptest::collection::vec(any::<u32>(), 1..128),
+        prefixes in proptest::collection::vec((arb_prefix(), 1u32..50), 1..16),
+    ) {
+        let table: PrefixTable = prefixes.iter().map(|(p, a)| (*p, Asn(*a))).collect();
+        let ips: Vec<Ip> = raw_ips.iter().map(|&r| Ip(r)).collect();
+        let clustering = Clustering::from_ips(&ips, &table, ClusterLevel::Prefix);
+
+        // Every unique input IP is either clustered or unmatched, never both.
+        let mut unique: Vec<Ip> = ips.clone();
+        unique.sort();
+        unique.dedup();
+        let clustered: usize = clustering.clusters().iter().map(|c| c.len()).sum();
+        prop_assert_eq!(clustered + clustering.unmatched().len(), unique.len());
+
+        // Members of each cluster share the cluster's prefix, and the
+        // delegate is a member.
+        for c in clustering.clusters() {
+            prop_assert!(!c.is_empty());
+            for &m in c.members() {
+                prop_assert!(c.prefix().contains(m));
+                prop_assert_eq!(clustering.cluster_of(m), Some(c.id()));
+            }
+            prop_assert!(c.members().contains(&c.delegate()));
+        }
+    }
+
+    #[test]
+    fn as_level_never_has_more_clusters_than_prefix_level(
+        raw_ips in proptest::collection::vec(any::<u32>(), 1..128),
+        prefixes in proptest::collection::vec((arb_prefix(), 1u32..8), 1..16),
+    ) {
+        let table: PrefixTable = prefixes.iter().map(|(p, a)| (*p, Asn(*a))).collect();
+        let ips: Vec<Ip> = raw_ips.iter().map(|&r| Ip(r)).collect();
+        let by_prefix = Clustering::from_ips(&ips, &table, ClusterLevel::Prefix);
+        let by_as = Clustering::from_ips(&ips, &table, ClusterLevel::As);
+        prop_assert!(by_as.cluster_count() <= by_prefix.cluster_count());
+        prop_assert_eq!(by_as.peer_count(), by_prefix.peer_count());
+    }
+
+    #[test]
+    fn ip_display_parse_roundtrip(raw in any::<u32>()) {
+        let ip = Ip(raw);
+        let back: Ip = ip.to_string().parse().unwrap();
+        prop_assert_eq!(ip, back);
+    }
+
+    #[test]
+    fn prefix_display_parse_roundtrip(base in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(Ip(base), len);
+        let back: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+}

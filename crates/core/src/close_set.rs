@@ -1,0 +1,415 @@
+//! `construct-close-cluster-set()` — paper Fig. 9.
+//!
+//! Each cluster surrogate `s` runs a breadth-first search outward from its
+//! own AS on the annotated AS graph, under three constraints:
+//!
+//! * extensions must keep the AS path **valley-free** (a relay in a
+//!   cluster only helps if the legs toward it are policy-routable);
+//! * at most `k` AS hops (the paper shows ≤ 4 AS hops covers >90% of
+//!   sub-300 ms routes);
+//! * expansion is **pruned** through ASes whose measured RTT exceeds
+//!   `latT` or whose loss exceeds `lossT` (if getting *to* an AS is
+//!   already slow, everything behind it is too).
+//!
+//! Every cluster originated by a reached AS is measured (surrogate → peer
+//! cluster delegate, by `ping`); clusters within both thresholds enter the
+//! close cluster set.
+
+use std::collections::HashMap;
+
+use asap_cluster::{Asn, ClusterId};
+use asap_topology::valley::{bounded_search, bounded_search_unconstrained, Expand};
+use asap_workload::{HostId, Scenario};
+
+use crate::config::AsapConfig;
+
+/// One member of a close cluster set: a cluster reachable within the
+/// thresholds, with its measured leg properties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloseClusterEntry {
+    /// The close cluster.
+    pub cluster: ClusterId,
+    /// The cluster's surrogate host (relay candidate representative).
+    pub surrogate: HostId,
+    /// Measured RTT from the owning surrogate to this cluster, ms.
+    pub rtt_ms: f64,
+    /// Measured loss rate of that leg.
+    pub loss: f64,
+    /// Valley-free AS hops at which the cluster's AS was reached.
+    pub as_hops: usize,
+}
+
+/// The close cluster set of one cluster.
+#[derive(Debug, Clone, Default)]
+pub struct CloseClusterSet {
+    entries: Vec<CloseClusterEntry>,
+    by_cluster: HashMap<ClusterId, usize>,
+    /// Ping messages the surrogate spent constructing the set
+    /// (request + reply per measured cluster). This is *background*
+    /// traffic amortized over all sessions of the cluster, reported
+    /// separately from per-session overhead (§7.3).
+    pub construction_messages: u64,
+}
+
+impl CloseClusterSet {
+    /// Builds a set from explicit entries (simulation and test harnesses;
+    /// the protocol itself always constructs sets via
+    /// [`construct_close_cluster_set`]). Later duplicates of a cluster
+    /// replace earlier ones in the index but keep their slot order.
+    pub fn from_entries(entries: impl IntoIterator<Item = CloseClusterEntry>) -> Self {
+        let mut set = CloseClusterSet::default();
+        for e in entries {
+            if set.contains(e.cluster) {
+                continue;
+            }
+            set.push(e);
+        }
+        set
+    }
+
+    /// The entries, in BFS (increasing-hop) order.
+    pub fn entries(&self) -> &[CloseClusterEntry] {
+        &self.entries
+    }
+
+    /// Number of close clusters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for `cluster`, if it is in the set.
+    pub fn get(&self, cluster: ClusterId) -> Option<&CloseClusterEntry> {
+        self.by_cluster.get(&cluster).map(|&i| &self.entries[i])
+    }
+
+    /// Whether `cluster` is in the set.
+    pub fn contains(&self, cluster: ClusterId) -> bool {
+        self.by_cluster.contains_key(&cluster)
+    }
+
+    fn push(&mut self, entry: CloseClusterEntry) {
+        self.by_cluster.insert(entry.cluster, self.entries.len());
+        self.entries.push(entry);
+    }
+
+    /// Test-only constructor hook for hand-built sets.
+    #[cfg(test)]
+    pub(crate) fn push_for_tests(&mut self, entry: CloseClusterEntry) {
+        self.push(entry);
+    }
+}
+
+/// An index from AS number to the clusters it originates, shared by all
+/// surrogates (the bootstrap's prefix → ASN table, inverted).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterIndex {
+    by_asn: HashMap<Asn, Vec<ClusterId>>,
+}
+
+impl ClusterIndex {
+    /// Builds the index from a scenario's clustering.
+    pub fn build(scenario: &Scenario) -> Self {
+        let mut by_asn: HashMap<Asn, Vec<ClusterId>> = HashMap::new();
+        for c in scenario.population.clustering().clusters() {
+            by_asn.entry(c.asn()).or_default().push(c.id());
+        }
+        ClusterIndex { by_asn }
+    }
+
+    /// The clusters originated by `asn` (empty if none).
+    pub fn clusters_of(&self, asn: Asn) -> &[ClusterId] {
+        self.by_asn.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// How the close-cluster-set BFS explores the AS graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Valley-free constrained, as the paper's Fig. 9 specifies.
+    #[default]
+    ValleyFree,
+    /// Plain BFS ignoring routing policy — an ablation that shows what
+    /// AS-relationship awareness buys (more probes for candidates whose
+    /// legs BGP cannot actually realize).
+    Unconstrained,
+}
+
+/// Runs `construct-close-cluster-set()` for the surrogate of
+/// `origin_cluster`.
+///
+/// `surrogate_of` maps clusters to their current surrogate host (the
+/// caller owns surrogate election). Measurements go surrogate-delegate to
+/// surrogate-delegate through the scenario's network model.
+pub fn construct_close_cluster_set(
+    scenario: &Scenario,
+    index: &ClusterIndex,
+    surrogate_of: &dyn Fn(ClusterId) -> HostId,
+    origin_cluster: ClusterId,
+    config: &AsapConfig,
+) -> CloseClusterSet {
+    construct_close_cluster_set_with_mode(
+        scenario,
+        index,
+        surrogate_of,
+        origin_cluster,
+        config,
+        SearchMode::ValleyFree,
+    )
+}
+
+/// [`construct_close_cluster_set`] with an explicit [`SearchMode`]
+/// (ablation hook).
+pub fn construct_close_cluster_set_with_mode(
+    scenario: &Scenario,
+    index: &ClusterIndex,
+    surrogate_of: &dyn Fn(ClusterId) -> HostId,
+    origin_cluster: ClusterId,
+    config: &AsapConfig,
+    mode: SearchMode,
+) -> CloseClusterSet {
+    let clustering = scenario.population.clustering();
+    let origin_asn = clustering.cluster(origin_cluster).asn();
+    let origin_surrogate = surrogate_of(origin_cluster);
+
+    let mut set = CloseClusterSet::default();
+
+    // Clusters co-located in the origin AS are close by construction
+    // (intra-AS latency), at 0 AS hops.
+    for &c in index.clusters_of(origin_asn) {
+        if c == origin_cluster {
+            continue;
+        }
+        set.construction_messages += 2;
+        let peer = surrogate_of(c);
+        if let (Some(rtt), Some(loss)) = (
+            measure_rtt(scenario, origin_surrogate, peer),
+            scenario.host_loss(origin_surrogate, peer),
+        ) {
+            if rtt < config.lat_t_ms && loss < config.loss_t {
+                set.push(CloseClusterEntry {
+                    cluster: c,
+                    surrogate: peer,
+                    rtt_ms: rtt,
+                    loss,
+                    as_hops: 0,
+                });
+            }
+        }
+    }
+
+    let visit = |set: &mut CloseClusterSet, reached: asap_topology::valley::Reached| {
+        let clusters = index.clusters_of(reached.asn);
+        if clusters.is_empty() {
+            // No peers there: nothing to measure, keep expanding (transit
+            // ASes carry no clusters but lead to ones that do).
+            return Expand::Continue;
+        }
+        // Measure each cluster in the reached AS; prune expansion when
+        // even the best leg into this AS violates a threshold.
+        let mut best_rtt = f64::INFINITY;
+        for &c in clusters {
+            set.construction_messages += 2;
+            let peer = surrogate_of(c);
+            let (Some(rtt), Some(loss)) = (
+                measure_rtt(scenario, origin_surrogate, peer),
+                scenario.host_loss(origin_surrogate, peer),
+            ) else {
+                continue;
+            };
+            best_rtt = best_rtt.min(rtt);
+            if rtt < config.lat_t_ms && loss < config.loss_t {
+                set.push(CloseClusterEntry {
+                    cluster: c,
+                    surrogate: peer,
+                    rtt_ms: rtt,
+                    loss,
+                    as_hops: reached.hops,
+                });
+            }
+        }
+        if best_rtt >= config.lat_t_ms {
+            Expand::Prune
+        } else {
+            Expand::Continue
+        }
+    };
+
+    match mode {
+        SearchMode::ValleyFree => {
+            bounded_search(&scenario.internet.graph, origin_asn, config.k, |reached| {
+                visit(&mut set, reached)
+            });
+        }
+        SearchMode::Unconstrained => {
+            bounded_search_unconstrained(
+                &scenario.internet.graph,
+                origin_asn,
+                config.k,
+                |reached| visit(&mut set, reached),
+            );
+        }
+    }
+
+    set
+}
+
+/// The surrogate's `lat()` primitive ("can be done by using simple system
+/// utilities, such as ping"): a direct host-to-host RTT measurement.
+fn measure_rtt(scenario: &Scenario, from: HostId, to: HostId) -> Option<f64> {
+    if from == to {
+        return Some(0.0);
+    }
+    scenario.host_rtt_ms(from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_workload::ScenarioConfig;
+
+    fn setup() -> (Scenario, ClusterIndex, AsapConfig) {
+        let scenario = Scenario::build(ScenarioConfig::tiny(), 13);
+        let index = ClusterIndex::build(&scenario);
+        (scenario, index, AsapConfig::default())
+    }
+
+    fn delegate_surrogates(scenario: &Scenario) -> impl Fn(ClusterId) -> HostId + '_ {
+        move |c| scenario.delegate_of(c)
+    }
+
+    #[test]
+    fn close_set_respects_thresholds() {
+        let (scenario, index, config) = setup();
+        let surrogate = delegate_surrogates(&scenario);
+        let origin = scenario.population.clustering().clusters()[0].id();
+        let set = construct_close_cluster_set(&scenario, &index, &surrogate, origin, &config);
+        for e in set.entries() {
+            assert!(e.rtt_ms < config.lat_t_ms, "{} ≥ latT", e.rtt_ms);
+            assert!(e.loss < config.loss_t);
+            assert!(e.as_hops <= config.k);
+            assert_ne!(e.cluster, origin, "origin never lists itself");
+        }
+    }
+
+    #[test]
+    fn close_set_is_indexable() {
+        let (scenario, index, config) = setup();
+        let surrogate = delegate_surrogates(&scenario);
+        let origin = scenario.population.clustering().clusters()[1].id();
+        let set = construct_close_cluster_set(&scenario, &index, &surrogate, origin, &config);
+        for e in set.entries() {
+            assert!(set.contains(e.cluster));
+            assert_eq!(set.get(e.cluster).unwrap(), e);
+        }
+        assert!(!set.contains(origin));
+    }
+
+    #[test]
+    fn smaller_k_never_enlarges_the_set() {
+        let (scenario, index, config) = setup();
+        let surrogate = delegate_surrogates(&scenario);
+        let origin = scenario.population.clustering().clusters()[2].id();
+        let small = construct_close_cluster_set(
+            &scenario,
+            &index,
+            &surrogate,
+            origin,
+            &AsapConfig { k: 2, ..config },
+        );
+        let large = construct_close_cluster_set(
+            &scenario,
+            &index,
+            &surrogate,
+            origin,
+            &AsapConfig { k: 5, ..config },
+        );
+        assert!(small.len() <= large.len());
+        for e in small.entries() {
+            assert!(
+                large.contains(e.cluster),
+                "k=2 found {:?} but k=5 did not",
+                e.cluster
+            );
+        }
+    }
+
+    #[test]
+    fn tight_latency_threshold_shrinks_the_set() {
+        let (scenario, index, config) = setup();
+        let surrogate = delegate_surrogates(&scenario);
+        let origin = scenario.population.clustering().clusters()[0].id();
+        let loose = construct_close_cluster_set(&scenario, &index, &surrogate, origin, &config);
+        let tight = construct_close_cluster_set(
+            &scenario,
+            &index,
+            &surrogate,
+            origin,
+            &AsapConfig {
+                lat_t_ms: 40.0,
+                ..config
+            },
+        );
+        assert!(tight.len() <= loose.len());
+        for e in tight.entries() {
+            assert!(e.rtt_ms < 40.0);
+        }
+    }
+
+    #[test]
+    fn construction_messages_cover_measured_clusters() {
+        let (scenario, index, config) = setup();
+        let surrogate = delegate_surrogates(&scenario);
+        let origin = scenario.population.clustering().clusters()[0].id();
+        let set = construct_close_cluster_set(&scenario, &index, &surrogate, origin, &config);
+        // Two messages per measured cluster; at least the accepted ones
+        // were measured.
+        assert!(set.construction_messages >= 2 * set.len() as u64);
+    }
+
+    #[test]
+    fn unconstrained_mode_probes_at_least_as_much() {
+        let (scenario, index, config) = setup();
+        let surrogate = delegate_surrogates(&scenario);
+        let origin = scenario.population.clustering().clusters()[0].id();
+        let vf = construct_close_cluster_set_with_mode(
+            &scenario,
+            &index,
+            &surrogate,
+            origin,
+            &config,
+            SearchMode::ValleyFree,
+        );
+        let un = construct_close_cluster_set_with_mode(
+            &scenario,
+            &index,
+            &surrogate,
+            origin,
+            &config,
+            SearchMode::Unconstrained,
+        );
+        assert!(un.construction_messages >= vf.construction_messages);
+        // Every valley-free close cluster also qualifies when reached by
+        // the plain ball (measurement is identical).
+        for e in vf.entries() {
+            assert!(
+                un.contains(e.cluster),
+                "{:?} missing from unconstrained set",
+                e.cluster
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_index_covers_every_cluster() {
+        let (scenario, index, _) = setup();
+        let clustering = scenario.population.clustering();
+        for c in clustering.clusters() {
+            assert!(index.clusters_of(c.asn()).contains(&c.id()));
+        }
+    }
+}

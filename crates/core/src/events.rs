@@ -1,0 +1,250 @@
+//! Discrete-event simulation of the full ASAP protocol machine.
+//!
+//! The algorithmic heart of ASAP lives in [`crate::close_set`] and
+//! [`crate::select`]; this module exercises the *system* around it over
+//! virtual time — hosts joining, periodically publishing nodal
+//! information, surrogates failing and being replaced, calls arriving —
+//! and accounts every message by type. It is the end-to-end validation
+//! that the protocol machine stays consistent under churn, and the source
+//! of the §6.3 traffic-load numbers.
+
+use asap_netsim::events::{EventQueue, SimTime};
+use asap_workload::sessions::Session;
+use asap_workload::{HostId, Scenario};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::AsapConfig;
+use crate::system::AsapSystem;
+
+/// Message taxonomy for the load accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageCounts {
+    /// Join requests/replies with bootstraps.
+    pub join: u64,
+    /// Close-cluster-set requests/replies with surrogates.
+    pub close_set: u64,
+    /// Periodic nodal-information publishes to surrogates.
+    pub publish: u64,
+    /// Surrogate-change notifications (bootstrap + cluster members).
+    pub election: u64,
+    /// Per-call messages (pings + selection).
+    pub call: u64,
+}
+
+impl MessageCounts {
+    /// Total messages of all types.
+    pub fn total(&self) -> u64 {
+        self.join + self.close_set + self.publish + self.election + self.call
+    }
+}
+
+/// Configuration of the protocol simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Hosts join uniformly at random within this window (ms).
+    pub join_window_ms: u64,
+    /// Total simulated duration (ms).
+    pub duration_ms: u64,
+    /// Number of calls placed at random times after the join window.
+    pub calls: usize,
+    /// Number of random surrogate failures injected.
+    pub surrogate_failures: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            join_window_ms: 60_000,
+            duration_ms: 600_000,
+            calls: 50,
+            surrogate_failures: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// What the protocol simulation observed.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Hosts that joined.
+    pub joined: u64,
+    /// Calls completed (direct or relayed).
+    pub calls_completed: u64,
+    /// Calls that found no path at all (unroutable destination).
+    pub calls_without_path: u64,
+    /// Surrogate failovers performed.
+    pub failovers: u64,
+    /// Message counters by type.
+    pub messages: MessageCounts,
+    /// Virtual time at which the simulation ended.
+    pub ended_at: SimTime,
+}
+
+/// Events driving the protocol simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Join(HostId),
+    Publish(HostId),
+    Call(Session),
+    FailSurrogate(u32),
+    End,
+}
+
+/// Runs the protocol machine over virtual time.
+///
+/// # Panics
+///
+/// Panics if the scenario population is empty.
+pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimReport {
+    let system = AsapSystem::bootstrap(scenario, config);
+    let mut rng = StdRng::seed_from_u64(sim.seed);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let hosts = scenario.population.hosts();
+    assert!(!hosts.is_empty(), "cannot simulate an empty population");
+
+    for h in hosts {
+        queue.schedule(
+            SimTime(rng.gen_range(0..sim.join_window_ms.max(1))),
+            Event::Join(h.id),
+        );
+    }
+    for _ in 0..sim.calls {
+        let caller = HostId(rng.gen_range(0..hosts.len()) as u32);
+        let callee = loop {
+            let c = HostId(rng.gen_range(0..hosts.len()) as u32);
+            if c != caller {
+                break c;
+            }
+        };
+        let at = rng.gen_range(sim.join_window_ms..sim.duration_ms.max(sim.join_window_ms + 1));
+        queue.schedule(SimTime(at), Event::Call(Session { caller, callee }));
+    }
+    let clusters = scenario.population.clustering().cluster_count() as u32;
+    for _ in 0..sim.surrogate_failures {
+        let at = rng.gen_range(sim.join_window_ms..sim.duration_ms.max(sim.join_window_ms + 1));
+        queue.schedule(
+            SimTime(at),
+            Event::FailSurrogate(rng.gen_range(0..clusters)),
+        );
+    }
+    queue.schedule(SimTime(sim.duration_ms), Event::End);
+
+    let mut report = SimReport::default();
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::End => {
+                report.ended_at = now;
+                break;
+            }
+            Event::Join(h) => {
+                let _ = system.join(h);
+                report.joined += 1;
+                report.messages.join += 2;
+                report.messages.close_set += 2;
+                // First publish happens one interval after joining.
+                queue.schedule(
+                    now.after_ms(system.config().publish_interval_ms),
+                    Event::Publish(h),
+                );
+            }
+            Event::Publish(h) => {
+                report.messages.publish += 1;
+                if now.as_ms() + system.config().publish_interval_ms <= sim.duration_ms {
+                    queue.schedule(
+                        now.after_ms(system.config().publish_interval_ms),
+                        Event::Publish(h),
+                    );
+                }
+            }
+            Event::Call(session) => {
+                let outcome = system.call(session.caller, session.callee);
+                report.messages.call += outcome.messages;
+                if outcome.chosen.is_some() {
+                    report.calls_completed += 1;
+                } else {
+                    report.calls_without_path += 1;
+                }
+            }
+            Event::FailSurrogate(cluster) => {
+                let id = asap_cluster::ClusterId(cluster);
+                let members = scenario.population.cluster_members(id).len() as u64;
+                let _ = system.fail_surrogate(id);
+                report.failovers += 1;
+                // Notify bootstrap (2) and cluster members (1 each).
+                report.messages.election += 2 + members;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_workload::ScenarioConfig;
+
+    fn scenario() -> Scenario {
+        Scenario::build(ScenarioConfig::tiny(), 17)
+    }
+
+    #[test]
+    fn every_host_joins_and_publishes() {
+        let s = scenario();
+        let report = run(&s, AsapConfig::default(), &SimConfig::default());
+        assert_eq!(report.joined, s.population.hosts().len() as u64);
+        // Each host publishes roughly duration/interval times.
+        let expected = report.joined
+            * (SimConfig::default().duration_ms / AsapConfig::default().publish_interval_ms - 1);
+        assert!(report.messages.publish >= expected / 2, "too few publishes");
+    }
+
+    #[test]
+    fn calls_complete_under_churn() {
+        let s = scenario();
+        let sim = SimConfig {
+            calls: 30,
+            surrogate_failures: 5,
+            ..Default::default()
+        };
+        let report = run(&s, AsapConfig::default(), &sim);
+        assert_eq!(report.calls_completed + report.calls_without_path, 30);
+        assert!(report.calls_completed > 0, "no call completed at all");
+        assert_eq!(report.failovers, 5);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let s = scenario();
+        let sim = SimConfig::default();
+        let a = run(&s, AsapConfig::default(), &sim);
+        let b = run(&s, AsapConfig::default(), &sim);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.calls_completed, b.calls_completed);
+    }
+
+    #[test]
+    fn message_totals_add_up() {
+        let s = scenario();
+        let report = run(&s, AsapConfig::default(), &SimConfig::default());
+        let m = report.messages;
+        assert_eq!(
+            m.total(),
+            m.join + m.close_set + m.publish + m.election + m.call
+        );
+        assert!(m.total() > 0);
+    }
+
+    #[test]
+    fn ends_at_configured_duration() {
+        let s = scenario();
+        let sim = SimConfig {
+            duration_ms: 120_000,
+            ..Default::default()
+        };
+        let report = run(&s, AsapConfig::default(), &sim);
+        assert_eq!(report.ended_at, SimTime(120_000));
+    }
+}

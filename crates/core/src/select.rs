@@ -1,0 +1,272 @@
+//! `select-close-relay()` — paper Fig. 10.
+//!
+//! When the direct route between caller `h1` and callee `h2` violates the
+//! latency threshold, the caller obtains `h2`'s close cluster set (2
+//! messages) and intersects it with its own:
+//!
+//! * **one-hop**: every cluster `r` in the intersection with
+//!   `relaylat(h1–r–h2) < latT` contributes *all of its member IPs* as
+//!   usable relays (set `OS`);
+//! * **two-hop**: if `|OS| < sizeT`, the caller queries each one-hop
+//!   cluster surrogate `r1` for *its* close cluster set (2 messages each)
+//!   and adds pairs `r1–r2` with `r2` in the callee's set and
+//!   `relaylat(h1–r1–r2–h2) < latT` (set `TS`).
+//!
+//! `relaylat()` sums the measured leg RTTs plus 40 ms round-trip
+//! forwarding delay per intermediary.
+
+use asap_cluster::ClusterId;
+use asap_netsim::RELAY_DELAY_RTT_MS;
+
+use crate::close_set::CloseClusterSet;
+use crate::config::AsapConfig;
+
+/// A one-hop relay cluster selected for a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OneHopRelay {
+    /// The relay cluster.
+    pub cluster: ClusterId,
+    /// Estimated relay-path RTT `relaylat(h1–r–h2)` in ms.
+    pub est_rtt_ms: f64,
+    /// Estimated relay-path loss (independent legs).
+    pub est_loss: f64,
+    /// Number of member IPs the cluster contributes as relay candidates.
+    pub member_ips: u64,
+}
+
+/// A two-hop relay cluster pair selected for a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoHopRelay {
+    /// First relay cluster (close to the caller).
+    pub first: ClusterId,
+    /// Second relay cluster (close to the callee).
+    pub second: ClusterId,
+    /// Estimated relay-path RTT in ms.
+    pub est_rtt_ms: f64,
+    /// Number of member IP *pairs* contributed (|first| × |second|).
+    pub member_pairs: u64,
+}
+
+/// The outcome of `select-close-relay()`.
+#[derive(Debug, Clone, Default)]
+pub struct CloseRelaySelection {
+    /// One-hop relay clusters (`OS`), sorted by estimated RTT.
+    pub one_hop: Vec<OneHopRelay>,
+    /// Two-hop relay cluster pairs (`TS`), sorted by estimated RTT; empty
+    /// unless the one-hop set fell short of `sizeT`.
+    pub two_hop: Vec<TwoHopRelay>,
+    /// Whether two-hop expansion was triggered.
+    pub expanded_two_hop: bool,
+    /// Protocol messages spent: 2 for the callee's close set, plus 2 per
+    /// surrogate queried during two-hop expansion (§7.3).
+    pub messages: u64,
+}
+
+impl CloseRelaySelection {
+    /// Total quality relay paths at member-IP granularity: one-hop member
+    /// IPs plus two-hop member pairs. This is the quantity Figs. 11/12
+    /// plot ("90% of the sessions can find more than 10^4 quality
+    /// paths").
+    pub fn quality_paths(&self) -> u64 {
+        let one: u64 = self.one_hop.iter().map(|r| r.member_ips).sum();
+        let two: u64 = self.two_hop.iter().map(|r| r.member_pairs).sum();
+        one + two
+    }
+
+    /// The best estimated relay RTT across both sets, if any.
+    pub fn best_est_rtt_ms(&self) -> Option<f64> {
+        let one = self.one_hop.first().map(|r| r.est_rtt_ms);
+        let two = self.two_hop.first().map(|r| r.est_rtt_ms);
+        match (one, two) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Runs `select-close-relay()` from the caller's and callee's close
+/// cluster sets.
+///
+/// `cluster_size` reports the member count of a cluster (the bootstrap's
+/// prefix tables know it); `fetch_close_set` obtains the close cluster
+/// set of a one-hop surrogate during two-hop expansion — the runtime
+/// supplies a cached lookup and the message accounting assumes one
+/// request/response round trip per call.
+pub fn select_close_relay(
+    caller_set: &CloseClusterSet,
+    callee_set: &CloseClusterSet,
+    config: &AsapConfig,
+    cluster_size: &dyn Fn(ClusterId) -> u64,
+    fetch_close_set: &mut dyn FnMut(ClusterId) -> CloseClusterSet,
+) -> CloseRelaySelection {
+    let mut sel = CloseRelaySelection {
+        messages: 2,
+        ..Default::default()
+    };
+
+    // One-hop: CS = S1 ∩ S2.
+    for e1 in caller_set.entries() {
+        let Some(e2) = callee_set.get(e1.cluster) else {
+            continue;
+        };
+        let est_rtt_ms = e1.rtt_ms + e2.rtt_ms + RELAY_DELAY_RTT_MS;
+        if est_rtt_ms < config.lat_t_ms {
+            let est_loss = 1.0 - (1.0 - e1.loss) * (1.0 - e2.loss);
+            sel.one_hop.push(OneHopRelay {
+                cluster: e1.cluster,
+                est_rtt_ms,
+                est_loss,
+                member_ips: cluster_size(e1.cluster),
+            });
+        }
+    }
+    sel.one_hop
+        .sort_by(|a, b| a.est_rtt_ms.total_cmp(&b.est_rtt_ms));
+
+    // Two-hop expansion when the one-hop candidate pool is thin.
+    let one_hop_ips: u64 = sel.one_hop.iter().map(|r| r.member_ips).sum();
+    if (one_hop_ips as usize) < config.size_t {
+        sel.expanded_two_hop = true;
+        for e1 in caller_set.entries() {
+            // Query r1's surrogate for its close cluster set.
+            sel.messages += 2;
+            let r1_set = fetch_close_set(e1.cluster);
+            for e12 in r1_set.entries() {
+                if e12.cluster == e1.cluster {
+                    continue;
+                }
+                let Some(e2) = callee_set.get(e12.cluster) else {
+                    continue;
+                };
+                let est_rtt_ms = e1.rtt_ms + e12.rtt_ms + e2.rtt_ms + 2.0 * RELAY_DELAY_RTT_MS;
+                if est_rtt_ms < config.lat_t_ms {
+                    sel.two_hop.push(TwoHopRelay {
+                        first: e1.cluster,
+                        second: e12.cluster,
+                        est_rtt_ms,
+                        member_pairs: cluster_size(e1.cluster) * cluster_size(e12.cluster),
+                    });
+                }
+            }
+        }
+        sel.two_hop
+            .sort_by(|a, b| a.est_rtt_ms.total_cmp(&b.est_rtt_ms));
+    }
+
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::close_set::CloseClusterEntry;
+    use asap_workload::HostId;
+
+    fn entry(cluster: u32, rtt: f64) -> CloseClusterEntry {
+        CloseClusterEntry {
+            cluster: ClusterId(cluster),
+            surrogate: HostId(cluster),
+            rtt_ms: rtt,
+            loss: 0.005,
+            as_hops: 1,
+        }
+    }
+
+    fn set(entries: &[CloseClusterEntry]) -> CloseClusterSet {
+        let mut s = CloseClusterSet::default();
+        for &e in entries {
+            s.push_for_tests(e);
+        }
+        s
+    }
+
+    fn no_two_hop() -> impl FnMut(ClusterId) -> CloseClusterSet {
+        |_| CloseClusterSet::default()
+    }
+
+    #[test]
+    fn one_hop_intersects_and_thresholds() {
+        let caller = set(&[entry(1, 100.0), entry(2, 100.0), entry(3, 250.0)]);
+        let callee = set(&[entry(2, 100.0), entry(3, 100.0), entry(4, 50.0)]);
+        let cfg = AsapConfig {
+            size_t: 0,
+            ..Default::default()
+        };
+        let sel = select_close_relay(&caller, &callee, &cfg, &|_| 10, &mut no_two_hop());
+        // Cluster 2: 100+100+40 = 240 < 300 ✓. Cluster 3: 250+100+40 = 390 ✗.
+        assert_eq!(sel.one_hop.len(), 1);
+        assert_eq!(sel.one_hop[0].cluster, ClusterId(2));
+        assert_eq!(sel.quality_paths(), 10);
+        assert_eq!(sel.messages, 2);
+        assert!(!sel.expanded_two_hop);
+    }
+
+    #[test]
+    fn two_hop_triggers_below_size_t() {
+        let caller = set(&[entry(1, 50.0)]);
+        let callee = set(&[entry(9, 60.0)]);
+        // One-hop intersection is empty; r1 = cluster 1 knows cluster 9.
+        let cfg = AsapConfig::default();
+        let mut fetch = |c: ClusterId| {
+            assert_eq!(c, ClusterId(1));
+            set(&[entry(9, 70.0)])
+        };
+        let sel = select_close_relay(&caller, &callee, &cfg, &|_| 5, &mut fetch);
+        assert!(sel.expanded_two_hop);
+        assert_eq!(sel.two_hop.len(), 1);
+        let t = &sel.two_hop[0];
+        assert_eq!((t.first, t.second), (ClusterId(1), ClusterId(9)));
+        // 50 + 70 + 60 + 80 = 260 < 300.
+        assert!((t.est_rtt_ms - 260.0).abs() < 1e-9);
+        assert_eq!(t.member_pairs, 25);
+        // 2 base + 2 for the one surrogate queried.
+        assert_eq!(sel.messages, 4);
+    }
+
+    #[test]
+    fn two_hop_skipped_when_one_hop_is_rich() {
+        let caller = set(&[entry(1, 50.0)]);
+        let callee = set(&[entry(1, 50.0)]);
+        let cfg = AsapConfig {
+            size_t: 10,
+            ..Default::default()
+        };
+        let sel = select_close_relay(&caller, &callee, &cfg, &|_| 1000, &mut no_two_hop());
+        assert!(!sel.expanded_two_hop);
+        assert_eq!(sel.messages, 2);
+    }
+
+    #[test]
+    fn results_sorted_by_estimated_rtt() {
+        let caller = set(&[entry(1, 120.0), entry(2, 40.0), entry(3, 80.0)]);
+        let callee = set(&[entry(1, 40.0), entry(2, 40.0), entry(3, 40.0)]);
+        let cfg = AsapConfig {
+            size_t: 0,
+            ..Default::default()
+        };
+        let sel = select_close_relay(&caller, &callee, &cfg, &|_| 1, &mut no_two_hop());
+        let rtts: Vec<f64> = sel.one_hop.iter().map(|r| r.est_rtt_ms).collect();
+        let mut sorted = rtts.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(rtts, sorted);
+        assert_eq!(sel.best_est_rtt_ms(), Some(40.0 + 40.0 + 40.0));
+    }
+
+    #[test]
+    fn empty_sets_yield_empty_selection() {
+        let cfg = AsapConfig::default();
+        let sel = select_close_relay(
+            &CloseClusterSet::default(),
+            &CloseClusterSet::default(),
+            &cfg,
+            &|_| 1,
+            &mut no_two_hop(),
+        );
+        assert_eq!(sel.quality_paths(), 0);
+        assert_eq!(sel.best_est_rtt_ms(), None);
+        assert!(
+            sel.expanded_two_hop,
+            "empty one-hop always triggers expansion"
+        );
+    }
+}

@@ -1,0 +1,604 @@
+//! The ASAP node runtime: bootstrap tables, surrogate election and
+//! failover, join and call flows, message accounting.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use asap_cluster::{Asn, ClusterId};
+use asap_workload::{HostId, Scenario};
+use parking_lot::Mutex;
+
+use crate::close_set::{construct_close_cluster_set, CloseClusterSet, ClusterIndex};
+use crate::config::AsapConfig;
+use crate::select::{select_close_relay, CloseRelaySelection};
+
+/// Counters describing everything the system did since bootstrap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Hosts that completed the join handshake.
+    pub joins: u64,
+    /// Calls placed.
+    pub calls: u64,
+    /// Calls that used the direct path (below `latT`).
+    pub direct_calls: u64,
+    /// Calls that ran `select-close-relay()`.
+    pub relayed_calls: u64,
+    /// Close cluster sets constructed by surrogates.
+    pub close_sets_built: u64,
+    /// Background messages spent constructing close sets (amortized, not
+    /// per-session — §7.3 reports session overhead separately).
+    pub construction_messages: u64,
+    /// Per-session selection messages (the Fig. 18 quantity).
+    pub session_messages: u64,
+    /// Surrogate elections performed (bootstrap + failovers).
+    pub elections: u64,
+}
+
+/// The outcome of one call placed through ASAP.
+#[derive(Debug, Clone)]
+pub struct CallOutcome {
+    /// Direct-route RTT measured at call start, if routable.
+    pub direct_rtt_ms: Option<f64>,
+    /// Whether the call proceeded on the direct path.
+    pub used_direct: bool,
+    /// The relay selection, when one ran.
+    pub selection: Option<CloseRelaySelection>,
+    /// The relay host(s) actually picked, with the true RTT and loss of
+    /// the resulting path (empty relays = direct path).
+    pub chosen: Option<ChosenPath>,
+    /// Messages this call spent: 2 for the direct ping, plus the
+    /// selection messages.
+    pub messages: u64,
+}
+
+/// The concrete path a call ends up using.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChosenPath {
+    /// Relay hosts (empty = direct, one = one-hop, two = two-hop).
+    pub relays: Vec<HostId>,
+    /// True end-to-end RTT in milliseconds.
+    pub rtt_ms: f64,
+    /// True end-to-end loss probability.
+    pub loss: f64,
+}
+
+/// The running ASAP system over a scenario.
+///
+/// Bootstrap responsibilities (§6.1) are precomputed: the prefix → ASN and
+/// prefix → surrogate tables and the annotated AS graph (owned by the
+/// scenario). Surrogates construct close cluster sets lazily and cache
+/// them — in the deployed system this is continuous background work; in
+/// the simulation laziness keeps experiments fast without changing any
+/// observable result.
+#[derive(Debug)]
+pub struct AsapSystem<'a> {
+    scenario: &'a Scenario,
+    config: AsapConfig,
+    index: ClusterIndex,
+    /// Current surrogates of every cluster (indexed by `ClusterId.0`);
+    /// first entry is the primary. Large clusters elect several (§6.3:
+    /// "for a few large clusters containing close to 1,000 online end
+    /// hosts, we can select multiple surrogates in them to share the
+    /// possible heavy load").
+    surrogates: Mutex<Vec<Vec<HostId>>>,
+    /// Close-set requests served, indexed like `surrogates` (per-cluster,
+    /// per-surrogate) — used to verify load sharing.
+    surrogate_load: Mutex<std::collections::HashMap<(ClusterId, HostId), u64>>,
+    /// Hosts marked offline (failed surrogates stay out of elections).
+    offline: Mutex<Vec<bool>>,
+    close_sets: Mutex<HashMap<ClusterId, Arc<CloseClusterSet>>>,
+    stats: Mutex<SystemStats>,
+}
+
+impl<'a> AsapSystem<'a> {
+    /// Boots the system: builds the bootstrap tables and elects the most
+    /// capable member of every cluster as its surrogate ("every surrogate
+    /// is the most powerful and reliable VoIP end host in its cluster",
+    /// §6.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn bootstrap(scenario: &'a Scenario, config: AsapConfig) -> Self {
+        config.validate().expect("invalid ASAP configuration");
+        let index = ClusterIndex::build(scenario);
+        let offline = vec![false; scenario.population.hosts().len()];
+        let system = AsapSystem {
+            scenario,
+            config,
+            index,
+            surrogates: Mutex::new(Vec::new()),
+            surrogate_load: Mutex::new(Default::default()),
+            offline: Mutex::new(offline),
+            close_sets: Mutex::new(HashMap::new()),
+            stats: Mutex::new(SystemStats::default()),
+        };
+        let clustering = scenario.population.clustering();
+        let mut surrogates = Vec::with_capacity(clustering.cluster_count());
+        for c in clustering.clusters() {
+            surrogates.push(system.elect(c.id()));
+        }
+        *system.surrogates.lock() = surrogates;
+        system
+    }
+
+    /// How many surrogates a cluster of `members` hosts elects: one per
+    /// started block of [`AsapConfig::members_per_surrogate`] members.
+    fn surrogate_count(&self, members: usize) -> usize {
+        members.div_ceil(self.config.members_per_surrogate).max(1)
+    }
+
+    /// The scenario this system runs over.
+    pub fn scenario(&self) -> &'a Scenario {
+        self.scenario
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &AsapConfig {
+        &self.config
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> SystemStats {
+        *self.stats.lock()
+    }
+
+    /// The current primary surrogate of `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster id is out of range.
+    pub fn surrogate_of(&self, cluster: ClusterId) -> HostId {
+        self.surrogates.lock()[cluster.0 as usize][0]
+    }
+
+    /// All current surrogates of `cluster` (large clusters elect several;
+    /// §6.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster id is out of range.
+    pub fn surrogates_of(&self, cluster: ClusterId) -> Vec<HostId> {
+        self.surrogates.lock()[cluster.0 as usize].clone()
+    }
+
+    /// The surrogate of `cluster` that serves `requester`'s close-set
+    /// request: requests are spread across the cluster's surrogates by
+    /// requester hash, and the chosen surrogate's load counter is bumped.
+    pub fn serving_surrogate(&self, cluster: ClusterId, requester: HostId) -> HostId {
+        let surrogates = self.surrogates.lock();
+        let list = &surrogates[cluster.0 as usize];
+        let pick = list[(requester.0 as usize) % list.len()];
+        drop(surrogates);
+        *self
+            .surrogate_load
+            .lock()
+            .entry((cluster, pick))
+            .or_insert(0) += 1;
+        pick
+    }
+
+    /// Close-set requests served so far by `surrogate` on behalf of
+    /// `cluster`.
+    pub fn surrogate_load(&self, cluster: ClusterId, surrogate: HostId) -> u64 {
+        self.surrogate_load
+            .lock()
+            .get(&(cluster, surrogate))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Elects the best online members of `cluster`: highest nodal
+    /// capability (discounted by access delay), ties to the lower host
+    /// id; large clusters elect several surrogates.
+    fn elect(&self, cluster: ClusterId) -> Vec<HostId> {
+        let offline = self.offline.lock();
+        let members = self.scenario.population.cluster_members(cluster);
+        // Surrogates must be powerful *and* well connected: a capable host
+        // behind a slow access link would make the whole cluster look far
+        // in every close cluster set, so access delay discounts the score.
+        let score = |h: HostId| {
+            let host = self.scenario.population.host(h);
+            host.nodal.capability() - host.access_ms / 100.0
+        };
+        let mut online: Vec<HostId> = members
+            .iter()
+            .copied()
+            .filter(|h| !offline[h.0 as usize])
+            .collect();
+        if online.is_empty() {
+            online = members.clone();
+        }
+        online.sort_by(|&a, &b| score(b).total_cmp(&score(a)).then(a.cmp(&b)));
+        online.truncate(self.surrogate_count(members.len()));
+        self.stats.lock().elections += 1;
+        online
+    }
+
+    /// Handles a surrogate failure: marks the host offline, elects a
+    /// replacement, and invalidates cached close sets (they may list the
+    /// failed surrogate as a relay representative).
+    pub fn fail_surrogate(&self, cluster: ClusterId) -> HostId {
+        let old = self.surrogate_of(cluster);
+        self.offline.lock()[old.0 as usize] = true;
+        let new = self.elect(cluster);
+        let primary = new[0];
+        self.surrogates.lock()[cluster.0 as usize] = new;
+        self.close_sets.lock().clear();
+        primary
+    }
+
+    /// The join flow (steps 1–4 of Fig. 8): the host learns its ASN and
+    /// surrogate from a bootstrap, then fetches its cluster's close
+    /// cluster set. Returns `(ASN, surrogate)`. Costs 4 messages (2 per
+    /// round trip).
+    pub fn join(&self, host: HostId) -> (Asn, HostId) {
+        let h = self.scenario.population.host(host);
+        let cluster = self.scenario.population.cluster_of(host);
+        let surrogate = self.serving_surrogate(cluster, host);
+        let mut stats = self.stats.lock();
+        stats.joins += 1;
+        stats.session_messages += 4;
+        (h.asn, surrogate)
+    }
+
+    /// The close cluster set of `cluster`, constructing and caching it if
+    /// the surrogate has not built one yet.
+    pub fn close_set_of(&self, cluster: ClusterId) -> Arc<CloseClusterSet> {
+        if let Some(set) = self.close_sets.lock().get(&cluster) {
+            return Arc::clone(set);
+        }
+        let surrogates: Vec<Vec<HostId>> = self.surrogates.lock().clone();
+        let set = Arc::new(construct_close_cluster_set(
+            self.scenario,
+            &self.index,
+            &|c: ClusterId| surrogates[c.0 as usize][0],
+            cluster,
+            &self.config,
+        ));
+        let mut stats = self.stats.lock();
+        stats.close_sets_built += 1;
+        stats.construction_messages += set.construction_messages;
+        drop(stats);
+        self.close_sets
+            .lock()
+            .entry(cluster)
+            .or_insert_with(|| Arc::clone(&set));
+        Arc::clone(&set)
+    }
+
+    /// Places a call (steps 5–10 of Fig. 8): ping the direct route; if it
+    /// violates `latT`, run `select-close-relay()` and pick the most
+    /// suitable relay(s).
+    pub fn call(&self, caller: HostId, callee: HostId) -> CallOutcome {
+        let mut messages = 2; // direct-route ping + reply
+        let direct_rtt_ms = self.scenario.host_rtt_ms(caller, callee);
+        let direct_loss = self.scenario.host_loss(caller, callee).unwrap_or(1.0);
+        {
+            let mut stats = self.stats.lock();
+            stats.calls += 1;
+        }
+
+        if let Some(rtt) = direct_rtt_ms {
+            if rtt < self.config.lat_t_ms {
+                let mut stats = self.stats.lock();
+                stats.direct_calls += 1;
+                stats.session_messages += messages;
+                return CallOutcome {
+                    direct_rtt_ms,
+                    used_direct: true,
+                    selection: None,
+                    chosen: Some(ChosenPath {
+                        relays: Vec::new(),
+                        rtt_ms: rtt,
+                        loss: direct_loss,
+                    }),
+                    messages,
+                };
+            }
+        }
+
+        let caller_cluster = self.scenario.population.cluster_of(caller);
+        let callee_cluster = self.scenario.population.cluster_of(callee);
+        let caller_set = self.close_set_of(caller_cluster);
+        let callee_set = self.close_set_of(callee_cluster);
+
+        let clustering = self.scenario.population.clustering();
+        let cluster_size = |c: ClusterId| clustering.cluster(c).len() as u64;
+        let mut fetch = |c: ClusterId| (*self.close_set_of(c)).clone();
+        let selection = select_close_relay(
+            &caller_set,
+            &callee_set,
+            &self.config,
+            &cluster_size,
+            &mut fetch,
+        );
+        messages += selection.messages;
+
+        // "Comprehensively considering" the candidates: evaluate the top
+        // few by true path RTT (their surrogates' measurements are
+        // estimates) and keep the best.
+        let chosen = self.pick_best(caller, callee, &selection);
+
+        let mut stats = self.stats.lock();
+        stats.relayed_calls += 1;
+        stats.session_messages += messages;
+        drop(stats);
+
+        CallOutcome {
+            direct_rtt_ms,
+            used_direct: false,
+            selection: Some(selection),
+            chosen,
+            messages,
+        }
+    }
+
+    /// Evaluates the top candidates of a selection against the true
+    /// network and returns the best concrete path.
+    fn pick_best(
+        &self,
+        caller: HostId,
+        callee: HostId,
+        selection: &CloseRelaySelection,
+    ) -> Option<ChosenPath> {
+        // All one-hop candidates are evaluated (their RTT estimates are
+        // already on hand from the close sets, per the paper's
+        // "comprehensively considering" step); two-hop pairs are capped —
+        // they only matter when the one-hop set is thin anyway.
+        let one_hop_scan = selection.one_hop.len();
+        const TWO_HOP_SCAN: usize = 64;
+        let mut best: Option<ChosenPath> = None;
+        let mut consider = |candidate: Option<ChosenPath>| {
+            if let Some(c) = candidate {
+                let better = match &best {
+                    Some(b) => c.rtt_ms < b.rtt_ms,
+                    None => true,
+                };
+                if better {
+                    best = Some(c);
+                }
+            }
+        };
+
+        for r in selection.one_hop.iter().take(one_hop_scan) {
+            let relay = self.surrogate_of(r.cluster);
+            if relay == caller || relay == callee {
+                continue;
+            }
+            let path = self
+                .scenario
+                .one_hop_rtt_ms(caller, relay, callee)
+                .map(|rtt| ChosenPath {
+                    relays: vec![relay],
+                    rtt_ms: rtt,
+                    loss: self
+                        .scenario
+                        .one_hop_loss(caller, relay, callee)
+                        .unwrap_or(0.0),
+                });
+            consider(path);
+        }
+        for t in selection.two_hop.iter().take(TWO_HOP_SCAN) {
+            let (r1, r2) = (self.surrogate_of(t.first), self.surrogate_of(t.second));
+            if r1 == r2 || [r1, r2].contains(&caller) || [r1, r2].contains(&callee) {
+                continue;
+            }
+            let path = self
+                .scenario
+                .two_hop_rtt_ms(caller, r1, r2, callee)
+                .map(|rtt| {
+                    let loss = {
+                        let l1 = self.scenario.host_loss(caller, r1).unwrap_or(0.0);
+                        let l2 = self.scenario.host_loss(r1, r2).unwrap_or(0.0);
+                        let l3 = self.scenario.host_loss(r2, callee).unwrap_or(0.0);
+                        1.0 - (1.0 - l1) * (1.0 - l2) * (1.0 - l3)
+                    };
+                    ChosenPath {
+                        relays: vec![r1, r2],
+                        rtt_ms: rtt,
+                        loss,
+                    }
+                });
+            consider(path);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_workload::{sessions, ScenarioConfig};
+
+    fn scenario() -> Scenario {
+        Scenario::build(ScenarioConfig::tiny(), 21)
+    }
+
+    #[test]
+    fn bootstrap_elects_most_capable_surrogates() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let score = |h: HostId| {
+            let host = s.population.host(h);
+            host.nodal.capability() - host.access_ms / 100.0
+        };
+        for c in s.population.clustering().clusters() {
+            let surrogate = system.surrogate_of(c.id());
+            for m in s.population.cluster_members(c.id()) {
+                assert!(
+                    score(surrogate) >= score(m) - 1e-12,
+                    "surrogate of {:?} is not the best-scoring member",
+                    c.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_direct_calls_skip_selection() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        // Find a fast pair.
+        let fast = sessions::generate(&s.population, 200, 1)
+            .into_iter()
+            .find(|x| s.host_rtt_ms(x.caller, x.callee).is_some_and(|r| r < 150.0))
+            .expect("some fast session exists");
+        let out = system.call(fast.caller, fast.callee);
+        assert!(out.used_direct);
+        assert!(out.selection.is_none());
+        assert_eq!(out.messages, 2);
+        assert!(out.chosen.unwrap().relays.is_empty());
+    }
+
+    #[test]
+    fn slow_calls_run_selection() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let slow = sessions::generate(&s.population, 3000, 2)
+            .into_iter()
+            .find(|x| s.host_rtt_ms(x.caller, x.callee).is_some_and(|r| r > 300.0));
+        let Some(slow) = slow else {
+            return; // tiny worlds occasionally have no latent session
+        };
+        let out = system.call(slow.caller, slow.callee);
+        assert!(!out.used_direct);
+        let sel = out.selection.expect("selection ran");
+        assert!(out.messages >= 4); // ping + 2 selection messages
+        if let Some(chosen) = &out.chosen {
+            assert!(!chosen.relays.is_empty());
+            // The chosen relay really is a surrogate the selection named.
+            let named: Vec<HostId> =
+                sel.one_hop
+                    .iter()
+                    .map(|r| system.surrogate_of(r.cluster))
+                    .chain(sel.two_hop.iter().flat_map(|t| {
+                        [system.surrogate_of(t.first), system.surrogate_of(t.second)]
+                    }))
+                    .collect();
+            for r in &chosen.relays {
+                assert!(named.contains(r));
+            }
+        }
+    }
+
+    #[test]
+    fn close_sets_are_cached() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let c = s.population.clustering().clusters()[0].id();
+        let a = system.close_set_of(c);
+        let b = system.close_set_of(c);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(system.stats().close_sets_built, 1);
+    }
+
+    #[test]
+    fn surrogate_failover_elects_someone_else_and_invalidates() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        // Pick a cluster with at least two members.
+        let cluster = s
+            .population
+            .clustering()
+            .clusters()
+            .iter()
+            .find(|c| c.len() >= 2)
+            .expect("some multi-member cluster")
+            .id();
+        let _ = system.close_set_of(cluster);
+        let old = system.surrogate_of(cluster);
+        let new = system.fail_surrogate(cluster);
+        assert_ne!(old, new, "failover must pick a different host");
+        assert!(s.population.cluster_members(cluster).contains(&new));
+        // Cache was invalidated: rebuilding bumps the counter.
+        let built_before = system.stats().close_sets_built;
+        let _ = system.close_set_of(cluster);
+        assert_eq!(system.stats().close_sets_built, built_before + 1);
+    }
+
+    #[test]
+    fn join_reports_asn_and_surrogate() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let host = s.population.hosts()[5].id;
+        let (asn, surrogate) = system.join(host);
+        assert_eq!(asn, s.population.host(host).asn);
+        let cluster = s.population.cluster_of(host);
+        assert!(system.surrogates_of(cluster).contains(&surrogate));
+        assert_eq!(system.stats().joins, 1);
+    }
+
+    #[test]
+    fn large_clusters_elect_multiple_surrogates() {
+        let s = scenario();
+        let config = AsapConfig {
+            members_per_surrogate: 3,
+            ..Default::default()
+        };
+        let system = AsapSystem::bootstrap(&s, config);
+        let big = s
+            .population
+            .clustering()
+            .clusters()
+            .iter()
+            .find(|c| c.len() >= 7)
+            .expect("some cluster with ≥7 members")
+            .id();
+        let surrogates = system.surrogates_of(big);
+        let want = s.population.cluster_members(big).len().div_ceil(3);
+        assert_eq!(surrogates.len(), want);
+        // All surrogates are distinct members.
+        let members = s.population.cluster_members(big);
+        let mut dedup = surrogates.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), surrogates.len());
+        assert!(surrogates.iter().all(|h| members.contains(h)));
+    }
+
+    #[test]
+    fn close_set_requests_are_load_balanced() {
+        let s = scenario();
+        let config = AsapConfig {
+            members_per_surrogate: 2,
+            ..Default::default()
+        };
+        let system = AsapSystem::bootstrap(&s, config);
+        let big = s
+            .population
+            .clustering()
+            .clusters()
+            .iter()
+            .find(|c| c.len() >= 6)
+            .expect("some cluster with ≥6 members")
+            .id();
+        let surrogates = system.surrogates_of(big);
+        assert!(surrogates.len() >= 3);
+        for i in 0..60u32 {
+            let _ = system.serving_surrogate(big, HostId(i));
+        }
+        for &sur in &surrogates {
+            let load = system.surrogate_load(big, sur);
+            assert!(load > 0, "surrogate {sur} served nothing");
+            assert!(
+                load <= 60 / surrogates.len() as u64 + 1,
+                "surrogate {sur} overloaded: {load}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let sessions = sessions::generate(&s.population, 10, 3);
+        for sess in &sessions {
+            system.call(sess.caller, sess.callee);
+        }
+        let stats = system.stats();
+        assert_eq!(stats.calls, 10);
+        assert_eq!(stats.direct_calls + stats.relayed_calls, 10);
+        assert!(stats.session_messages >= 20);
+    }
+}

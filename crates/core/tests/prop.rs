@@ -1,0 +1,148 @@
+//! Property-based tests for `select-close-relay()` over arbitrary close
+//! cluster sets, and close-set invariants on a shared scenario.
+
+use std::sync::OnceLock;
+
+use asap_cluster::ClusterId;
+use asap_core::close_set::{
+    construct_close_cluster_set, CloseClusterEntry, CloseClusterSet, ClusterIndex,
+};
+use asap_core::select::select_close_relay;
+use asap_core::AsapConfig;
+use asap_netsim::RELAY_DELAY_RTT_MS;
+use asap_workload::{HostId, Scenario, ScenarioConfig};
+use proptest::prelude::*;
+
+fn shared_scenario() -> &'static Scenario {
+    static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| Scenario::build(ScenarioConfig::tiny(), 99))
+}
+
+fn arb_entry() -> impl Strategy<Value = CloseClusterEntry> {
+    (0u32..40, 1.0f64..280.0, 0.0f64..0.04, 0usize..5).prop_map(|(c, rtt, loss, hops)| {
+        CloseClusterEntry {
+            cluster: ClusterId(c),
+            surrogate: HostId(c),
+            rtt_ms: rtt,
+            loss,
+            as_hops: hops,
+        }
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = CloseClusterSet> {
+    proptest::collection::vec(arb_entry(), 0..24).prop_map(CloseClusterSet::from_entries)
+}
+
+proptest! {
+    #[test]
+    fn one_hop_results_respect_latency_threshold(caller in arb_set(), callee in arb_set()) {
+        let config = AsapConfig { size_t: 0, ..Default::default() };
+        let sel = select_close_relay(&caller, &callee, &config, &|_| 3, &mut |_| {
+            CloseClusterSet::default()
+        });
+        for r in &sel.one_hop {
+            prop_assert!(r.est_rtt_ms < config.lat_t_ms);
+            // The estimate is the sum of both legs plus the relay delay.
+            let (e1, e2) = (caller.get(r.cluster).unwrap(), callee.get(r.cluster).unwrap());
+            prop_assert!((r.est_rtt_ms - (e1.rtt_ms + e2.rtt_ms + RELAY_DELAY_RTT_MS)).abs() < 1e-9);
+        }
+        // Sorted ascending.
+        for w in sel.one_hop.windows(2) {
+            prop_assert!(w[0].est_rtt_ms <= w[1].est_rtt_ms);
+        }
+        // One-hop clusters are exactly the thresholded intersection.
+        for e1 in caller.entries() {
+            let qualifies = callee
+                .get(e1.cluster)
+                .is_some_and(|e2| e1.rtt_ms + e2.rtt_ms + RELAY_DELAY_RTT_MS < config.lat_t_ms);
+            prop_assert_eq!(sel.one_hop.iter().any(|r| r.cluster == e1.cluster), qualifies);
+        }
+    }
+
+    #[test]
+    fn quality_paths_equal_member_weights(caller in arb_set(), callee in arb_set(), size in 1u64..50) {
+        let config = AsapConfig { size_t: 0, ..Default::default() };
+        let sel = select_close_relay(&caller, &callee, &config, &|_| size, &mut |_| {
+            CloseClusterSet::default()
+        });
+        prop_assert_eq!(sel.quality_paths(), sel.one_hop.len() as u64 * size);
+    }
+
+    #[test]
+    fn message_accounting_matches_expansion(caller in arb_set(), callee in arb_set()) {
+        let config = AsapConfig::default(); // size_t = 300: tiny sets expand
+        let mut fetches = 0u64;
+        let sel = select_close_relay(&caller, &callee, &config, &|_| 1, &mut |_| {
+            fetches += 1;
+            CloseClusterSet::default()
+        });
+        if sel.expanded_two_hop {
+            prop_assert_eq!(fetches, caller.len() as u64);
+            prop_assert_eq!(sel.messages, 2 + 2 * fetches);
+        } else {
+            prop_assert_eq!(sel.messages, 2);
+            prop_assert_eq!(fetches, 0);
+        }
+    }
+
+    #[test]
+    fn two_hop_paths_respect_threshold(caller in arb_set(), callee in arb_set(), mid in arb_set()) {
+        let config = AsapConfig::default();
+        let sel = select_close_relay(&caller, &callee, &config, &|_| 1, &mut |_| mid.clone());
+        for t in &sel.two_hop {
+            prop_assert!(t.est_rtt_ms < config.lat_t_ms);
+            prop_assert!(caller.contains(t.first));
+            prop_assert!(callee.contains(t.second));
+            prop_assert!(mid.contains(t.second));
+            prop_assert_ne!(t.first, t.second);
+        }
+    }
+
+    #[test]
+    fn best_estimate_is_global_minimum(caller in arb_set(), callee in arb_set()) {
+        let config = AsapConfig { size_t: 0, ..Default::default() };
+        let sel = select_close_relay(&caller, &callee, &config, &|_| 1, &mut |_| {
+            CloseClusterSet::default()
+        });
+        if let Some(best) = sel.best_est_rtt_ms() {
+            for r in &sel.one_hop {
+                prop_assert!(best <= r.est_rtt_ms + 1e-12);
+            }
+        } else {
+            prop_assert!(sel.one_hop.is_empty() && sel.two_hop.is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Close-set construction invariants over the shared scenario, for a
+    /// handful of configurations (each case costs a full BFS).
+    #[test]
+    fn close_sets_respect_any_configuration(
+        k in 1usize..5,
+        lat_t in 60.0f64..400.0,
+        cluster_ix in 0usize..10,
+    ) {
+        let scenario = shared_scenario();
+        let index = ClusterIndex::build(scenario);
+        let clusters = scenario.population.clustering().clusters();
+        let origin = clusters[cluster_ix % clusters.len()].id();
+        let config = AsapConfig { k, lat_t_ms: lat_t, ..Default::default() };
+        let set = construct_close_cluster_set(
+            scenario,
+            &index,
+            &|c| scenario.delegate_of(c),
+            origin,
+            &config,
+        );
+        for e in set.entries() {
+            prop_assert!(e.rtt_ms < lat_t);
+            prop_assert!(e.as_hops <= k);
+            prop_assert_ne!(e.cluster, origin);
+        }
+        prop_assert!(set.construction_messages >= 2 * set.len() as u64);
+    }
+}

@@ -1,0 +1,182 @@
+//! A minimal deterministic discrete-event core.
+//!
+//! The ASAP runtime (`asap-core`) and the Skype-like prober
+//! (`asap-baselines`) both simulate protocol message exchanges over time:
+//! joins, probes, nodal-info publishes, relay switches. This module
+//! provides the shared event queue: virtual milliseconds, stable FIFO
+//! ordering among simultaneous events, and no wall-clock dependence.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual simulation time in milliseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// This time plus `ms` milliseconds.
+    pub fn after_ms(self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+
+    /// Milliseconds since simulation start.
+    pub fn as_ms(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events scheduled for the same instant are delivered in scheduling
+/// order (stable FIFO), which keeps multi-agent protocol simulations
+/// reproducible.
+///
+/// ```
+/// use asap_netsim::events::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime(10), "b");
+/// q.schedule(SimTime(5), "a");
+/// q.schedule(SimTime(10), "c");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, vec!["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Option<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (zero initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time (events cannot be
+    /// scheduled in the past).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at} before current time {}",
+            self.now
+        );
+        let slot = self.events.len();
+        self.events.push(Some(event));
+        self.heap.push(Reverse((at, self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay_ms` after the current time.
+    pub fn schedule_in(&mut self, delay_ms: u64, event: E) {
+        self.schedule(self.now.after_ms(delay_ms), event);
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((at, _, slot)) = self.heap.pop()?;
+        self.now = at;
+        let event = self.events[slot].take().expect("event already taken");
+        Some((at, event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), 3);
+        q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(10), 2);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime(10), 2)));
+        assert_eq!(q.pop(), Some((SimTime(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(100));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(50), "first");
+        q.pop();
+        q.schedule_in(25, "second");
+        assert_eq!(q.pop(), Some((SimTime(75), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), ());
+        q.pop();
+        q.schedule(SimTime(5), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime(1), 0);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

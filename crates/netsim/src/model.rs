@@ -1,0 +1,514 @@
+//! The AS-level latency and loss model.
+
+use std::sync::Arc;
+
+use asap_cluster::Asn;
+use asap_topology::routing::BgpRouter;
+use asap_topology::SyntheticInternet;
+use parking_lot::Mutex;
+
+/// Health of an AS during the simulated period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AsCondition {
+    /// Operating normally.
+    Healthy,
+    /// Congested: every path crossing this AS pays `added_rtt_ms` extra
+    /// round-trip latency and `added_loss` extra loss probability.
+    Congested {
+        /// Extra RTT in milliseconds per traversal.
+        added_rtt_ms: f64,
+        /// Extra loss probability per traversal.
+        added_loss: f64,
+    },
+    /// Failed: paths crossing this AS effectively time out.
+    Failed,
+}
+
+/// Tunables of the latency/loss model.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// One-way milliseconds of propagation per unit of coordinate distance.
+    pub ms_per_distance: f64,
+    /// One-way per-AS-link router/serialization delay in milliseconds.
+    pub per_hop_ms: f64,
+    /// Range of per-host access-link one-way delays in milliseconds; drawn
+    /// heavy-tailed (most hosts near the low end, a few modem-like hosts
+    /// near the high end).
+    pub access_ms: (f64, f64),
+    /// Probability that a *core link* (both endpoints tier-1/transit) is
+    /// congested. Link-level core congestion is the paper's Fig. 4
+    /// scenario: it afflicts every direct route crossing that peering or
+    /// transit link, yet relays whose legs meet elsewhere bypass it.
+    pub congestion_prob_core_link: f64,
+    /// Probability that a transit AS is congested as a whole (regional
+    /// provider trouble; bypassable only by endpoints with another
+    /// upstream).
+    pub congestion_prob_transit: f64,
+    /// Probability that a stub AS is congested (endpoint-adjacent
+    /// congestion, which no relay can bypass).
+    pub congestion_prob_stub: f64,
+    /// Extra RTT range (ms) a congested AS adds per traversal.
+    pub congestion_added_rtt_ms: (f64, f64),
+    /// Extra loss range a congested AS adds per traversal.
+    pub congestion_added_loss: (f64, f64),
+    /// Fraction of stub ASes failed during the simulated period (core
+    /// ASes do not fail wholesale; per the paper's Fig. 2(a) only ~10 of
+    /// 10^5 sessions sit on the retransmission plateau).
+    pub failed_fraction: f64,
+    /// RTT assigned to paths crossing a failed AS (a retransmission
+    /// timeout plateau; Fig. 2(a) shows ~10 sessions above 5 s).
+    pub failure_rtt_ms: f64,
+    /// Baseline end-to-end loss probability range per path.
+    pub base_loss: (f64, f64),
+    /// Multiplicative latency jitter per AS pair (±fraction).
+    pub pair_jitter: f64,
+    /// Probability that an AS pair suffers a circuitous route (a triangle
+    /// inequality violation): its latency is multiplied by a factor drawn
+    /// from `tiv_range`. These pairs are exactly the ones one-hop relays
+    /// rescue geometrically (paper Fig. 2(b): 60% of sessions have an
+    /// optimal one-hop path faster than the direct route).
+    pub tiv_prob: f64,
+    /// Multiplier range for circuitous pairs.
+    pub tiv_range: (f64, f64),
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            ms_per_distance: 0.40,
+            per_hop_ms: 0.8,
+            access_ms: (0.5, 15.0),
+            congestion_prob_core_link: 0.008,
+            congestion_prob_transit: 0.008,
+            congestion_prob_stub: 0.001,
+            congestion_added_rtt_ms: (50.0, 600.0),
+            congestion_added_loss: (0.01, 0.08),
+            failed_fraction: 0.0002,
+            failure_rtt_ms: 5_500.0,
+            base_loss: (0.001, 0.01),
+            pair_jitter: 0.30,
+            tiv_prob: 0.18,
+            tiv_range: (1.4, 2.2),
+        }
+    }
+}
+
+/// Deterministic AS-level latency/loss oracle over a synthetic Internet.
+///
+/// All randomness is derived by hashing the configured seed with the
+/// entities involved, so the model is a pure function: the same query
+/// always returns the same answer, queries never interfere, and the whole
+/// model is `Send + Sync` (the internal BGP route cache is mutex-guarded).
+///
+/// ```
+/// use asap_netsim::{NetConfig, NetModel};
+/// use asap_topology::{InternetConfig, InternetGenerator};
+/// use std::sync::Arc;
+///
+/// let net = Arc::new(InternetGenerator::new(InternetConfig::tiny(), 1).generate());
+/// let model = NetModel::new(net.clone(), NetConfig::default(), 7);
+/// let stubs = net.stub_asns();
+/// let rtt = model.as_rtt_ms(stubs[0], stubs[1]).expect("routable");
+/// assert_eq!(model.as_rtt_ms(stubs[0], stubs[1]), Some(rtt)); // deterministic
+/// ```
+#[derive(Debug)]
+pub struct NetModel {
+    internet: Arc<SyntheticInternet>,
+    config: NetConfig,
+    seed: u64,
+    conditions: Vec<AsCondition>,
+    router: Mutex<BgpRouter>,
+}
+
+impl NetModel {
+    /// Builds the model, sampling congestion/failure episodes from `seed`.
+    pub fn new(internet: Arc<SyntheticInternet>, config: NetConfig, seed: u64) -> Self {
+        let n = internet.graph.node_count();
+        let mut conditions = vec![AsCondition::Healthy; n];
+        for (idx, cond) in conditions.iter_mut().enumerate() {
+            let h = mix(seed, 0xC0F_FEE, idx as u64);
+            let u = unit(h);
+            let congestion_prob = match internet.tiers[idx] {
+                asap_topology::AsTier::Tier1 => 0.0,
+                asap_topology::AsTier::Transit => config.congestion_prob_transit,
+                asap_topology::AsTier::Stub => config.congestion_prob_stub,
+            };
+            let can_fail = internet.tiers[idx] == asap_topology::AsTier::Stub;
+            if can_fail && u < config.failed_fraction {
+                *cond = AsCondition::Failed;
+            } else if u < config.failed_fraction + congestion_prob {
+                let (lo, hi) = config.congestion_added_rtt_ms;
+                let (llo, lhi) = config.congestion_added_loss;
+                // Uniform severity: congestion episodes range from mild
+                // to severe (the paper's problem sessions sit 50-400 ms
+                // above their clean RTT).
+                let sev = unit(mix(seed, 0xBAD, idx as u64));
+                *cond = AsCondition::Congested {
+                    added_rtt_ms: lo + sev * (hi - lo),
+                    added_loss: llo + sev * (lhi - llo),
+                };
+            }
+        }
+        NetModel {
+            internet,
+            config,
+            seed,
+            conditions,
+            router: Mutex::new(BgpRouter::new()),
+        }
+    }
+
+    /// The synthetic Internet this model runs over.
+    pub fn internet(&self) -> &Arc<SyntheticInternet> {
+        &self.internet
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// The health of `asn` during the simulated period.
+    pub fn condition(&self, asn: Asn) -> AsCondition {
+        match self.internet.graph.index_of(asn) {
+            Some(i) => self.conditions[i as usize],
+            None => AsCondition::Healthy,
+        }
+    }
+
+    /// Overrides the health of `asn` (failure injection in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `asn` is not in the graph.
+    pub fn set_condition(&mut self, asn: Asn, condition: AsCondition) {
+        let i = self.internet.graph.index_of(asn).expect("AS not in graph") as usize;
+        self.conditions[i] = condition;
+    }
+
+    /// The BGP policy AS path from `a` to `b`, if routable.
+    pub fn as_path(&self, a: Asn, b: Asn) -> Option<Vec<Asn>> {
+        if !self.internet.graph.contains(a) || !self.internet.graph.contains(b) {
+            return None;
+        }
+        self.router.lock().path(&self.internet.graph, a, b)
+    }
+
+    /// AS-hop count of the direct policy route.
+    pub fn as_hops(&self, a: Asn, b: Asn) -> Option<usize> {
+        if !self.internet.graph.contains(a) || !self.internet.graph.contains(b) {
+            return None;
+        }
+        self.router.lock().as_hops(&self.internet.graph, a, b)
+    }
+
+    /// Round-trip time in milliseconds between (the delegate routers of)
+    /// two ASes along the direct BGP route, or `None` if no policy route
+    /// exists. Includes congestion/failure inflation; excludes end-host
+    /// access delays (see [`NetModel::host_rtt_ms`]).
+    pub fn as_rtt_ms(&self, a: Asn, b: Asn) -> Option<f64> {
+        if a == b {
+            return Some(self.intra_as_rtt_ms(a));
+        }
+        let path = self.as_path(a, b)?;
+        Some(self.path_rtt_ms(&path))
+    }
+
+    /// The congestion state of the AS-AS link between `a` and `b`:
+    /// extra RTT (ms) and extra loss per traversal. Zero for healthy
+    /// links. Only core links (both endpoints tier-1/transit) are subject
+    /// to link congestion; deterministic per (seed, link).
+    pub fn link_condition(&self, a: Asn, b: Asn) -> (f64, f64) {
+        let is_core = |asn: Asn| {
+            matches!(
+                self.internet.tier(asn),
+                Some(asap_topology::AsTier::Tier1) | Some(asap_topology::AsTier::Transit)
+            )
+        };
+        if !is_core(a) || !is_core(b) {
+            return (0.0, 0.0);
+        }
+        let (x, y) = (a.0.min(b.0) as u64, a.0.max(b.0) as u64);
+        if unit(mix(self.seed ^ 0x11_4C, x, y)) >= self.config.congestion_prob_core_link {
+            return (0.0, 0.0);
+        }
+        let sev = unit(mix(self.seed ^ 0x5EF, x, y));
+        let (lo, hi) = self.config.congestion_added_rtt_ms;
+        let (llo, lhi) = self.config.congestion_added_loss;
+        (lo + sev * (hi - lo), llo + sev * (lhi - llo))
+    }
+
+    /// RTT along an explicit AS path (used for relay legs and what-if
+    /// questions). The path need not be the policy route.
+    pub fn path_rtt_ms(&self, path: &[Asn]) -> f64 {
+        let mut one_way = 0.0;
+        let mut extra_rtt = 0.0;
+        for w in path.windows(2) {
+            let d = self.internet.distance(w[0], w[1]);
+            one_way += d * self.config.ms_per_distance + self.config.per_hop_ms;
+            extra_rtt += self.link_condition(w[0], w[1]).0;
+        }
+        for &asn in path {
+            match self.condition(asn) {
+                AsCondition::Healthy => {}
+                AsCondition::Congested { added_rtt_ms, .. } => extra_rtt += added_rtt_ms,
+                AsCondition::Failed => return self.config.failure_rtt_ms,
+            }
+        }
+        // Deterministic per-pair jitter (same for both directions).
+        let (first, last) = (path.first(), path.last());
+        let jitter = match (first, last) {
+            (Some(&f), Some(&l)) => self.pair_jitter_factor(f, l),
+            _ => 1.0,
+        };
+        (2.0 * one_way + extra_rtt) * jitter
+    }
+
+    /// End-to-end loss probability between two ASes along the direct
+    /// route, or `None` if unroutable.
+    pub fn as_loss(&self, a: Asn, b: Asn) -> Option<f64> {
+        if a == b {
+            return Some(self.base_pair_loss(a, b));
+        }
+        let path = self.as_path(a, b)?;
+        Some(self.path_loss(&path))
+    }
+
+    /// Loss probability along an explicit AS path.
+    pub fn path_loss(&self, path: &[Asn]) -> f64 {
+        let mut loss = match (path.first(), path.last()) {
+            (Some(&f), Some(&l)) => self.base_pair_loss(f, l),
+            _ => 0.0,
+        };
+        for w in path.windows(2) {
+            loss += self.link_condition(w[0], w[1]).1;
+        }
+        for &asn in path {
+            match self.condition(asn) {
+                AsCondition::Healthy => {}
+                AsCondition::Congested { added_loss, .. } => loss += added_loss,
+                AsCondition::Failed => return 1.0,
+            }
+        }
+        loss.min(1.0)
+    }
+
+    /// Round-trip time between two end hosts, given each host's AS and
+    /// access-link delay: the AS-level RTT plus both hosts' access RTTs.
+    pub fn host_rtt_ms(
+        &self,
+        (asn_a, access_a_ms): (Asn, f64),
+        (asn_b, access_b_ms): (Asn, f64),
+    ) -> Option<f64> {
+        let core = self.as_rtt_ms(asn_a, asn_b)?;
+        Some(core + 2.0 * access_a_ms + 2.0 * access_b_ms)
+    }
+
+    /// Samples a deterministic heavy-tailed access-link one-way delay for
+    /// host number `host_id` (most hosts near the low end of
+    /// [`NetConfig::access_ms`], a few near the high end).
+    pub fn sample_access_ms(&self, host_id: u64) -> f64 {
+        let (lo, hi) = self.config.access_ms;
+        let u = unit(mix(self.seed, 0xACCE55, host_id));
+        lo + u.powi(4) * (hi - lo)
+    }
+
+    /// Intra-AS RTT between two hosts of the same AS (small, distance
+    /// independent, deterministic per AS).
+    fn intra_as_rtt_ms(&self, asn: Asn) -> f64 {
+        2.0 + 6.0 * unit(mix(self.seed, 0x1A7, asn.0 as u64))
+    }
+
+    fn pair_jitter_factor(&self, a: Asn, b: Asn) -> f64 {
+        let (lo, hi) = (a.0.min(b.0) as u64, a.0.max(b.0) as u64);
+        let u = unit(mix(self.seed, lo, hi));
+        let mut factor = 1.0 + self.config.pair_jitter * (2.0 * u - 1.0);
+        if unit(mix(self.seed ^ 0x717, lo, hi)) < self.config.tiv_prob {
+            let (tlo, thi) = self.config.tiv_range;
+            factor *= tlo + (thi - tlo) * unit(mix(self.seed ^ 0x7117, lo, hi));
+        }
+        factor
+    }
+
+    fn base_pair_loss(&self, a: Asn, b: Asn) -> f64 {
+        let (lo, hi) = self.config.base_loss;
+        let (x, y) = (a.0.min(b.0) as u64, a.0.max(b.0) as u64);
+        let u = unit(mix(self.seed, x ^ 0x1055, y));
+        lo + u * u * (hi - lo)
+    }
+}
+
+/// SplitMix64-style deterministic hash of three words.
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(21) ^ c.rotate_left(42) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform float in [0, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_topology::{InternetConfig, InternetGenerator};
+
+    fn model(seed: u64) -> NetModel {
+        let net = Arc::new(InternetGenerator::new(InternetConfig::tiny(), 3).generate());
+        NetModel::new(net, NetConfig::default(), seed)
+    }
+
+    #[test]
+    fn rtt_is_deterministic_and_symmetric_in_jitter() {
+        let m = model(1);
+        let stubs = m.internet().stub_asns();
+        let (a, b) = (stubs[0], stubs[7]);
+        let r1 = m.as_rtt_ms(a, b);
+        let r2 = m.as_rtt_ms(a, b);
+        assert_eq!(r1, r2);
+        assert!(r1.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn same_as_rtt_is_small() {
+        let m = model(2);
+        let a = m.internet().stub_asns()[0];
+        let rtt = m.as_rtt_ms(a, a).unwrap();
+        assert!((2.0..10.0).contains(&rtt), "intra-AS RTT {rtt}");
+    }
+
+    #[test]
+    fn longer_paths_cost_more_on_average() {
+        // RTT/AS-hop correlation (paper property 3): average RTT of 1-hop
+        // pairs below average RTT of 4-hop pairs.
+        let m = model(3);
+        let stubs = m.internet().stub_asns();
+        let mut by_hops: std::collections::HashMap<usize, (f64, usize)> = Default::default();
+        for i in 0..stubs.len() {
+            for j in (i + 1)..stubs.len().min(i + 30) {
+                if let (Some(h), Some(r)) = (
+                    m.as_hops(stubs[i], stubs[j]),
+                    m.as_rtt_ms(stubs[i], stubs[j]),
+                ) {
+                    if r < m.config().failure_rtt_ms {
+                        let e = by_hops.entry(h).or_insert((0.0, 0));
+                        e.0 += r;
+                        e.1 += 1;
+                    }
+                }
+            }
+        }
+        let avg = |h: usize| by_hops.get(&h).map(|(s, c)| s / *c as f64);
+        if let (Some(short), Some(long)) = (avg(2), avg(5)) {
+            assert!(short < long, "2-hop avg {short} vs 5-hop avg {long}");
+        }
+    }
+
+    #[test]
+    fn failed_as_forces_timeout_rtt() {
+        let mut m = model(4);
+        let stubs = m.internet().stub_asns();
+        let (a, b) = (stubs[1], stubs[11]);
+        let path = m.as_path(a, b).unwrap();
+        let middle = path[path.len() / 2];
+        m.set_condition(middle, AsCondition::Failed);
+        assert_eq!(m.as_rtt_ms(a, b), Some(m.config().failure_rtt_ms));
+        assert_eq!(m.as_loss(a, b), Some(1.0));
+    }
+
+    #[test]
+    fn congested_as_inflates_rtt_and_loss() {
+        let mut m = model(5);
+        let stubs = m.internet().stub_asns();
+        let (a, b) = (stubs[2], stubs[13]);
+        let path = m.as_path(a, b).unwrap();
+        for &asn in &path {
+            m.set_condition(asn, AsCondition::Healthy);
+        }
+        let clean_rtt = m.as_rtt_ms(a, b).unwrap();
+        let clean_loss = m.as_loss(a, b).unwrap();
+        let middle = path[path.len() / 2];
+        m.set_condition(
+            middle,
+            AsCondition::Congested {
+                added_rtt_ms: 200.0,
+                added_loss: 0.05,
+            },
+        );
+        assert!(
+            (m.as_rtt_ms(a, b).unwrap() - (clean_rtt + 200.0 * m_jitter(&m, a, b))).abs() < 1e-6
+                || m.as_rtt_ms(a, b).unwrap() > clean_rtt + 100.0
+        );
+        assert!((m.as_loss(a, b).unwrap() - (clean_loss + 0.05)).abs() < 1e-9);
+    }
+
+    // Congestion is added before jitter multiplies; recover the factor.
+    fn m_jitter(m: &NetModel, a: Asn, b: Asn) -> f64 {
+        m.pair_jitter_factor(a, b)
+    }
+
+    #[test]
+    fn relay_leg_sums_exceed_either_leg() {
+        let m = model(6);
+        let stubs = m.internet().stub_asns();
+        let (a, r, b) = (stubs[0], stubs[5], stubs[10]);
+        let leg1 = m.as_rtt_ms(a, r).unwrap();
+        let leg2 = m.as_rtt_ms(r, b).unwrap();
+        let relay = leg1 + leg2 + crate::RELAY_DELAY_RTT_MS;
+        assert!(relay > leg1 && relay > leg2);
+        assert!(relay >= crate::RELAY_DELAY_RTT_MS);
+    }
+
+    #[test]
+    fn access_delays_are_heavy_tailed() {
+        let m = model(7);
+        let samples: Vec<f64> = (0..2000).map(|i| m.sample_access_ms(i)).collect();
+        let (lo, hi) = m.config().access_ms;
+        assert!(samples.iter().all(|&s| s >= lo && s <= hi));
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        assert!(
+            median < (lo + hi) / 4.0,
+            "median {median} should hug the low end"
+        );
+        assert!(max > hi * 0.7, "tail should reach near {hi}, got {max}");
+    }
+
+    #[test]
+    fn host_rtt_adds_access_delays() {
+        let m = model(8);
+        let stubs = m.internet().stub_asns();
+        let core = m.as_rtt_ms(stubs[0], stubs[1]).unwrap();
+        let host = m.host_rtt_ms((stubs[0], 10.0), (stubs[1], 5.0)).unwrap();
+        assert!((host - (core + 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_as_is_unroutable() {
+        let m = model(9);
+        assert_eq!(m.as_rtt_ms(Asn(999_999), m.internet().stub_asns()[0]), None);
+    }
+
+    #[test]
+    fn episode_sampling_respects_fractions() {
+        let net = Arc::new(InternetGenerator::new(InternetConfig::default(), 10).generate());
+        let m = NetModel::new(net.clone(), NetConfig::default(), 11);
+        let n = net.graph.node_count() as f64;
+        let congested = net
+            .graph
+            .asns()
+            .iter()
+            .filter(|&&a| matches!(m.condition(a), AsCondition::Congested { .. }))
+            .count() as f64;
+        let frac = congested / n;
+        // Defaults: 12% of tier-1s, 1.2% of transits, 0.1% of stubs.
+        assert!((0.0005..0.02).contains(&frac), "congested fraction {frac}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the latency/loss model and the event queue.
+
+use std::sync::{Arc, OnceLock};
+
+use asap_netsim::events::{EventQueue, SimTime};
+use asap_netsim::{NetConfig, NetModel};
+use asap_topology::{InternetConfig, InternetGenerator, SyntheticInternet};
+use proptest::prelude::*;
+
+fn shared() -> &'static (Arc<SyntheticInternet>, NetModel) {
+    static SHARED: OnceLock<(Arc<SyntheticInternet>, NetModel)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let net = Arc::new(InternetGenerator::new(InternetConfig::tiny(), 77).generate());
+        let model = NetModel::new(net.clone(), NetConfig::default(), 78);
+        (net, model)
+    })
+}
+
+proptest! {
+    #[test]
+    fn rtt_is_pure_and_positive(i in 0usize..120, j in 0usize..120) {
+        let (net, model) = shared();
+        let stubs = net.stub_asns();
+        let (a, b) = (stubs[i % stubs.len()], stubs[j % stubs.len()]);
+        let r1 = model.as_rtt_ms(a, b);
+        let r2 = model.as_rtt_ms(a, b);
+        prop_assert_eq!(r1, r2);
+        if let Some(r) = r1 {
+            prop_assert!(r > 0.0);
+            prop_assert!(r.is_finite());
+        }
+    }
+
+    #[test]
+    fn rtt_is_symmetric_when_routes_are(i in 0usize..120, j in 0usize..120) {
+        // BGP routes need not be symmetric, but when the policy paths are
+        // reverses of each other the modeled RTT must agree (same links,
+        // same conditions, same pair jitter).
+        let (net, model) = shared();
+        let stubs = net.stub_asns();
+        let (a, b) = (stubs[i % stubs.len()], stubs[j % stubs.len()]);
+        let (Some(p_ab), Some(p_ba)) = (model.as_path(a, b), model.as_path(b, a)) else {
+            return Ok(());
+        };
+        let mut rev = p_ba.clone();
+        rev.reverse();
+        if rev == p_ab {
+            let (r_ab, r_ba) = (model.as_rtt_ms(a, b).unwrap(), model.as_rtt_ms(b, a).unwrap());
+            prop_assert!((r_ab - r_ba).abs() < 1e-9, "asymmetric RTT on symmetric route");
+        }
+    }
+
+    #[test]
+    fn loss_is_a_probability(i in 0usize..120, j in 0usize..120) {
+        let (net, model) = shared();
+        let stubs = net.stub_asns();
+        let (a, b) = (stubs[i % stubs.len()], stubs[j % stubs.len()]);
+        if let Some(l) = model.as_loss(a, b) {
+            prop_assert!((0.0..=1.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn link_condition_is_deterministic_and_bounded(i in 0usize..60, j in 0usize..60) {
+        let (net, model) = shared();
+        let asns = net.graph.asns();
+        let (a, b) = (asns[i % asns.len()], asns[j % asns.len()]);
+        let c1 = model.link_condition(a, b);
+        let c2 = model.link_condition(a, b);
+        prop_assert_eq!(c1, c2);
+        // Symmetric in argument order.
+        prop_assert_eq!(c1, model.link_condition(b, a));
+        let (lo, hi) = model.config().congestion_added_rtt_ms;
+        prop_assert!(c1.0 == 0.0 || (lo..=hi).contains(&c1.0));
+    }
+
+    #[test]
+    fn host_rtt_decomposes(i in 0usize..80, j in 0usize..80, acc_a in 0.0f64..40.0, acc_b in 0.0f64..40.0) {
+        let (net, model) = shared();
+        let stubs = net.stub_asns();
+        let (a, b) = (stubs[i % stubs.len()], stubs[j % stubs.len()]);
+        if let (Some(core), Some(host)) = (
+            model.as_rtt_ms(a, b),
+            model.host_rtt_ms((a, acc_a), (b, acc_b)),
+        ) {
+            prop_assert!((host - core - 2.0 * acc_a - 2.0 * acc_b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(times in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn event_queue_is_fifo_within_a_tick(n in 1usize..32) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime(42), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,343 @@
+//! Gao's AS-relationship inference algorithm.
+//!
+//! The paper annotates its AS graph "using the inferring AS relationships
+//! algorithm in \[9\]" — L. Gao, *On inferring autonomous system
+//! relationships in the Internet*, IEEE/ACM ToN 2001. Gao's insight is
+//! that BGP AS paths are valley-free, so each path has a single *top
+//! provider* (heuristically, the AS of highest degree on the path): every
+//! link before it goes customer→provider, every link after it goes
+//! provider→customer, and links where both directions are observed
+//! belong to sibling ASes. Peering links can only appear adjacent to the
+//! top provider and connect ASes of comparable size.
+//!
+//! This module implements the three phases on a set of AS paths (from
+//! [`crate::rib`]) and reports inference accuracy against a ground-truth
+//! graph where one is available.
+
+use std::collections::HashMap;
+
+use asap_cluster::Asn;
+
+use crate::graph::{AsGraph, EdgeKind};
+
+/// Tunables of the inference.
+#[derive(Debug, Clone)]
+pub struct GaoConfig {
+    /// Degree ratio below which a non-transit top link is classified as a
+    /// peering link (Gao's `R`; she evaluates R ∈ [1, 60]).
+    pub peering_degree_ratio: f64,
+    /// Minimum number of path observations before a transit claim is
+    /// trusted (Gao's `L` threshold separating sibling misclassification
+    /// from noise).
+    pub transit_threshold: usize,
+}
+
+impl Default for GaoConfig {
+    fn default() -> Self {
+        GaoConfig {
+            peering_degree_ratio: 60.0,
+            transit_threshold: 2,
+        }
+    }
+}
+
+/// The outcome of running the inference.
+#[derive(Debug, Clone)]
+pub struct Inference {
+    /// The inferred annotated AS graph (contains exactly the adjacencies
+    /// observed on the input paths).
+    pub graph: AsGraph,
+    /// Degree of each AS as observed on the input paths (Gao uses this to
+    /// locate top providers; it underestimates true degree when the RIB
+    /// view is partial).
+    pub observed_degree: HashMap<Asn, usize>,
+}
+
+/// Runs Gao's inference over `paths` (each a loop-free AS path as recorded
+/// in a RIB).
+pub fn infer(paths: &[Vec<Asn>], config: &GaoConfig) -> Inference {
+    // Phase 0: observed degrees from path adjacencies.
+    let mut neighbors: HashMap<Asn, Vec<Asn>> = HashMap::new();
+    for path in paths {
+        for w in path.windows(2) {
+            if w[0] == w[1] {
+                continue;
+            }
+            let e = neighbors.entry(w[0]).or_default();
+            if !e.contains(&w[1]) {
+                e.push(w[1]);
+            }
+            let e = neighbors.entry(w[1]).or_default();
+            if !e.contains(&w[0]) {
+                e.push(w[0]);
+            }
+        }
+    }
+    let degree: HashMap<Asn, usize> = neighbors.iter().map(|(&a, n)| (a, n.len())).collect();
+    let deg = |a: Asn| degree.get(&a).copied().unwrap_or(0);
+
+    // Phase 1: for every path, the highest-degree AS is the top provider.
+    // Count transit observations: transit[(u, v)] = number of paths
+    // showing u providing transit *to* v (the pair appears on the uphill
+    // side as (v, u) or on the downhill side as (u, v)).
+    let mut transit: HashMap<(Asn, Asn), usize> = HashMap::new();
+    // Phase 3 bookkeeping: edges ruled out as peering. An edge can only be
+    // a peering link if, in *every* path it appears on, it is adjacent to
+    // the top provider — and of the two top-adjacent edges, only the one
+    // whose outer endpoint has the larger degree can be the peering link
+    // (peers have comparable size; the other side is a customer).
+    let mut seen_edges: Vec<(Asn, Asn)> = Vec::new();
+    let mut not_peering: HashMap<(Asn, Asn), bool> = HashMap::new();
+    let key = |a: Asn, b: Asn| if a <= b { (a, b) } else { (b, a) };
+    for path in paths {
+        if path.len() < 2 {
+            continue;
+        }
+        let top = (0..path.len())
+            .max_by(|&i, &j| {
+                deg(path[i])
+                    .cmp(&deg(path[j]))
+                    .then_with(|| path[j].cmp(&path[i]))
+            })
+            .expect("non-empty path");
+        for i in 0..path.len() - 1 {
+            let (a, b) = (path[i], path[i + 1]);
+            let k = key(a, b);
+            if !not_peering.contains_key(&k) {
+                seen_edges.push(k);
+                not_peering.insert(k, false);
+            }
+            if i + 1 < top || i > top {
+                // Not adjacent to the top provider: cannot be peering.
+                not_peering.insert(k, true);
+            }
+            if i < top {
+                // Uphill: b provides transit to a.
+                *transit.entry((b, a)).or_insert(0) += 1;
+            } else {
+                // Downhill: a provides transit to b.
+                *transit.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+        // Of the two edges adjacent to the top, rule out the one whose
+        // outer endpoint is smaller (ties rule out both).
+        if top > 0 && top + 1 < path.len() {
+            let (left_outer, right_outer) = (path[top - 1], path[top + 1]);
+            if deg(left_outer) <= deg(right_outer) {
+                not_peering.insert(key(left_outer, path[top]), true);
+            }
+            if deg(right_outer) <= deg(left_outer) {
+                not_peering.insert(key(path[top], right_outer), true);
+            }
+        }
+    }
+
+    // Phases 2+3: classify every observed adjacency. Mutual transit ⇒
+    // sibling; surviving peering candidates with comparable degree ⇒ peer
+    // (overriding a transit-based assignment, per Gao's phase 3); otherwise
+    // the transit direction (or, lacking one, relative degree) decides the
+    // provider.
+    let mut graph = AsGraph::new();
+    let l = |n: Option<&usize>| n.copied().unwrap_or(0);
+    for &(a, b) in &seen_edges {
+        let t_ab = l(transit.get(&(a, b))); // a transits for b → a provider of b
+        let t_ba = l(transit.get(&(b, a)));
+        let (da, db) = (deg(a).max(1) as f64, deg(b).max(1) as f64);
+        let ratio = if da > db { da / db } else { db / da };
+        let peer_candidate = !not_peering[&(a, b)] && ratio <= config.peering_degree_ratio;
+        let kind_from_a = if t_ab >= config.transit_threshold && t_ba >= config.transit_threshold {
+            EdgeKind::SiblingToSibling
+        } else if peer_candidate {
+            EdgeKind::PeerToPeer
+        } else if t_ab > t_ba {
+            EdgeKind::ProviderToCustomer
+        } else if t_ba > t_ab {
+            EdgeKind::CustomerToProvider
+        } else if da >= db {
+            EdgeKind::ProviderToCustomer
+        } else {
+            EdgeKind::CustomerToProvider
+        };
+        graph.add_edge(a, b, kind_from_a);
+    }
+
+    Inference {
+        graph,
+        observed_degree: degree,
+    }
+}
+
+/// Per-kind confusion summary of an inference against ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accuracy {
+    /// Adjacencies present in both graphs.
+    pub compared: usize,
+    /// Of those, annotated identically.
+    pub correct: usize,
+}
+
+impl Accuracy {
+    /// Fraction of compared adjacencies annotated correctly (1.0 when
+    /// nothing was compared).
+    pub fn ratio(&self) -> f64 {
+        if self.compared == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.compared as f64
+        }
+    }
+}
+
+/// Compares an inferred graph against ground truth over their common
+/// adjacencies.
+pub fn accuracy(inferred: &AsGraph, truth: &AsGraph) -> Accuracy {
+    let mut acc = Accuracy::default();
+    for (a, b, kind) in inferred.edges() {
+        if let Some(true_kind) = truth.edge_kind(a, b) {
+            acc.compared += 1;
+            if true_kind == kind {
+                acc.correct += 1;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{InternetConfig, InternetGenerator};
+    use crate::rib::{collect_rib, RibConfig};
+    use asap_cluster::{Ip, Prefix};
+
+    #[test]
+    fn infers_chain_relationships() {
+        // Ground truth: core AS 0 (degree boosted by extra stubs) provides
+        // to 1, 1 provides to 2, 2 provides to 3. Provider links appear in
+        // the middle of paths whose top is the core AS, so Gao's phase 3
+        // rules them out as peering candidates.
+        let paths = vec![
+            vec![Asn(3), Asn(2), Asn(1), Asn(0)], // uphill all the way
+            vec![Asn(3), Asn(2), Asn(1), Asn(0), Asn(10)], // down to stub 10
+            vec![Asn(10), Asn(0), Asn(11)],       // 0's degree grows
+            vec![Asn(10), Asn(0), Asn(12)],
+            vec![Asn(10), Asn(0), Asn(13)],
+            // A path crossing 0's even bigger peer 9 puts the 0–1 link in
+            // the middle (past the top), ruling it out as peering.
+            vec![Asn(21), Asn(9), Asn(0), Asn(1), Asn(2)],
+            vec![Asn(30), Asn(9), Asn(31)],
+            vec![Asn(32), Asn(9), Asn(33)],
+            vec![Asn(34), Asn(9), Asn(35)],
+            vec![Asn(36), Asn(9), Asn(37)],
+        ];
+        let inf = infer(&paths, &GaoConfig::default());
+        assert_eq!(
+            inf.graph.edge_kind(Asn(0), Asn(1)),
+            Some(EdgeKind::ProviderToCustomer)
+        );
+        assert_eq!(
+            inf.graph.edge_kind(Asn(1), Asn(2)),
+            Some(EdgeKind::ProviderToCustomer)
+        );
+        assert_eq!(
+            inf.graph.edge_kind(Asn(2), Asn(3)),
+            Some(EdgeKind::ProviderToCustomer)
+        );
+        assert_eq!(
+            inf.graph.edge_kind(Asn(0), Asn(10)),
+            Some(EdgeKind::ProviderToCustomer)
+        );
+    }
+
+    #[test]
+    fn infers_siblings_from_mutual_transit() {
+        // 5 and 6 transit for each other (each appears providing transit
+        // to the other across different paths).
+        let paths = vec![
+            // Path stub→5→6→1: top is 1 (highest degree), so the 5–6 link
+            // is uphill: 6 transits for 5. Two observations each way so the
+            // default transit threshold is met.
+            vec![Asn(20), Asn(5), Asn(6), Asn(1)],
+            vec![Asn(22), Asn(5), Asn(6), Asn(1)],
+            // Path stub→6→5→1: 5 transits for 6.
+            vec![Asn(21), Asn(6), Asn(5), Asn(1)],
+            vec![Asn(23), Asn(6), Asn(5), Asn(1)],
+            // Give AS 1 a big degree.
+            vec![Asn(30), Asn(1), Asn(31)],
+            vec![Asn(32), Asn(1), Asn(33)],
+            vec![Asn(34), Asn(1), Asn(35)],
+        ];
+        let inf = infer(&paths, &GaoConfig::default());
+        assert_eq!(
+            inf.graph.edge_kind(Asn(5), Asn(6)),
+            Some(EdgeKind::SiblingToSibling)
+        );
+    }
+
+    #[test]
+    fn infers_peering_at_the_top() {
+        // Two providers 1 and 2 of equal degree exchanging customer routes:
+        // path stub(10)→1→2→stub(20). Top link 1-2 carries no transit in
+        // either direction across paths (1 never above 2 or vice versa
+        // beyond the top), so it is classified peering.
+        let paths = vec![
+            vec![Asn(10), Asn(1), Asn(2), Asn(20)],
+            vec![Asn(20), Asn(2), Asn(1), Asn(10)],
+            vec![Asn(11), Asn(1), Asn(12)],
+            vec![Asn(21), Asn(2), Asn(22)],
+        ];
+        let inf = infer(&paths, &GaoConfig::default());
+        assert_eq!(
+            inf.graph.edge_kind(Asn(1), Asn(2)),
+            Some(EdgeKind::PeerToPeer)
+        );
+    }
+
+    #[test]
+    fn empty_and_single_as_paths_are_ignored() {
+        let inf = infer(&[vec![], vec![Asn(1)]], &GaoConfig::default());
+        assert_eq!(inf.graph.node_count(), 0);
+    }
+
+    #[test]
+    fn end_to_end_inference_on_synthetic_internet_is_accurate() {
+        let net = InternetGenerator::new(InternetConfig::tiny(), 21).generate();
+        let stubs = net.stub_asns();
+        let announcements: Vec<(Prefix, Asn)> = stubs
+            .iter()
+            .enumerate()
+            .map(|(i, &asn)| (Prefix::new(Ip::from_octets([10, 0, i as u8, 0]), 24), asn))
+            .collect();
+        let rib = collect_rib(
+            &net.graph,
+            &announcements,
+            &RibConfig {
+                vantage_points: 25,
+                seed: 2,
+            },
+        );
+        let paths: Vec<Vec<Asn>> = rib.iter().map(|e| e.as_path.clone()).collect();
+        let inf = infer(&paths, &GaoConfig::default());
+        let acc = accuracy(&inf.graph, &net.graph);
+        assert!(
+            acc.compared > 50,
+            "too few comparable edges: {}",
+            acc.compared
+        );
+        assert!(
+            acc.ratio() > 0.85,
+            "inference accuracy {:.2} below 0.85 over {} edges",
+            acc.ratio(),
+            acc.compared
+        );
+    }
+
+    #[test]
+    fn accuracy_of_identical_graphs_is_one() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(1), Asn(2), EdgeKind::ProviderToCustomer);
+        let acc = accuracy(&g, &g);
+        assert_eq!(acc.compared, 1);
+        assert_eq!(acc.ratio(), 1.0);
+    }
+}

@@ -1,0 +1,499 @@
+//! Synthetic Internet-like AS topology generation.
+//!
+//! The paper annotates a real 2005 AS graph (20,955 ASes / 56,907 links)
+//! inferred from BGP dumps. Those dumps are not available here, so this
+//! module grows a synthetic topology with the structural properties ASAP
+//! exploits:
+//!
+//! * a **tier-1 clique** of mutually peering transit-free providers;
+//! * **transit (tier-2) ASes** attaching to providers by preferential
+//!   attachment (yielding a heavy-tailed degree distribution) and peering
+//!   with each other regionally;
+//! * **stub ASes**, a configurable fraction of them **multi-homed** — the
+//!   Fig. 4 ingredient that makes one-hop relays beat direct routes;
+//! * occasional **sibling** links;
+//! * per-AS **geographic coordinates** (tier-1 spread globally, customers
+//!   placed near their first provider) so that link latency can correlate
+//!   with distance in `asap-netsim`.
+
+use asap_cluster::Asn;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{AsGraph, EdgeKind};
+
+/// The hierarchy tier an AS was generated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsTier {
+    /// Transit-free core provider (member of the peering clique).
+    Tier1,
+    /// Regional/national transit provider.
+    Transit,
+    /// Edge network originating end-host prefixes.
+    Stub,
+}
+
+/// Parameters for [`InternetGenerator`].
+///
+/// The defaults produce a ~4,000-AS Internet, a scale at which the full
+/// evaluation pipeline runs in seconds; `InternetConfig::paper_scale()`
+/// approximates the 20,955-AS graph of the paper.
+#[derive(Debug, Clone)]
+pub struct InternetConfig {
+    /// Number of tier-1 core ASes (fully meshed with peering links).
+    pub tier1: usize,
+    /// Number of transit ASes.
+    pub transit: usize,
+    /// Number of stub ASes.
+    pub stubs: usize,
+    /// Probability that a stub AS is multi-homed (two or more providers).
+    pub multihome_prob: f64,
+    /// Expected number of extra peering links per transit AS.
+    pub transit_peering: f64,
+    /// Probability that a stub has a sibling AS.
+    pub sibling_prob: f64,
+    /// Side length of the square world the coordinates live in,
+    /// in milliseconds of one-way propagation delay corner-to-corner scale.
+    pub world_size: f64,
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        InternetConfig {
+            tier1: 10,
+            transit: 500,
+            stubs: 3500,
+            multihome_prob: 0.5,
+            transit_peering: 4.0,
+            sibling_prob: 0.01,
+            world_size: 100.0,
+        }
+    }
+}
+
+impl InternetConfig {
+    /// A configuration approximating the scale of the paper's 2005-09-26
+    /// graph (20,955 ASes, 56,907 links).
+    pub fn paper_scale() -> Self {
+        InternetConfig {
+            tier1: 12,
+            transit: 2400,
+            stubs: 18500,
+            ..InternetConfig::default()
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        InternetConfig {
+            tier1: 3,
+            transit: 20,
+            stubs: 120,
+            ..InternetConfig::default()
+        }
+    }
+}
+
+/// A generated Internet: the annotated AS graph plus per-AS metadata.
+#[derive(Debug, Clone)]
+pub struct SyntheticInternet {
+    /// The annotated AS graph.
+    pub graph: AsGraph,
+    /// Tier of every AS, indexed by the graph's dense node index.
+    pub tiers: Vec<AsTier>,
+    /// Planar coordinates of every AS (same indexing), used by the latency
+    /// model. Units are milliseconds of one-way propagation per unit
+    /// distance as configured by [`InternetConfig::world_size`].
+    pub coords: Vec<(f64, f64)>,
+}
+
+impl SyntheticInternet {
+    /// Tier of `asn`, if the AS exists.
+    pub fn tier(&self, asn: Asn) -> Option<AsTier> {
+        self.graph.index_of(asn).map(|i| self.tiers[i as usize])
+    }
+
+    /// Coordinates of `asn`, if the AS exists.
+    pub fn coord(&self, asn: Asn) -> Option<(f64, f64)> {
+        self.graph.index_of(asn).map(|i| self.coords[i as usize])
+    }
+
+    /// All stub ASes (the ones that host end users / VoIP peers).
+    pub fn stub_asns(&self) -> Vec<Asn> {
+        self.graph
+            .asns()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.tiers[*i] == AsTier::Stub)
+            .map(|(_, &a)| a)
+            .collect()
+    }
+
+    /// Euclidean distance between two ASes' coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either AS is absent from the graph.
+    pub fn distance(&self, a: Asn, b: Asn) -> f64 {
+        let (ax, ay) = self.coord(a).expect("AS not in the generated graph");
+        let (bx, by) = self.coord(b).expect("AS not in the generated graph");
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+/// Grows [`SyntheticInternet`]s from an [`InternetConfig`] and a seed.
+///
+/// ```
+/// use asap_topology::{InternetConfig, InternetGenerator};
+///
+/// let internet = InternetGenerator::new(InternetConfig::tiny(), 42).generate();
+/// assert!(internet.graph.node_count() >= 143);
+/// // Deterministic: the same seed yields the same topology.
+/// let again = InternetGenerator::new(InternetConfig::tiny(), 42).generate();
+/// assert_eq!(internet.graph.edge_count(), again.graph.edge_count());
+/// ```
+#[derive(Debug)]
+pub struct InternetGenerator {
+    config: InternetConfig,
+    rng: StdRng,
+}
+
+impl InternetGenerator {
+    /// Creates a generator with the given configuration and RNG seed.
+    pub fn new(config: InternetConfig, seed: u64) -> Self {
+        InternetGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates the topology.
+    pub fn generate(mut self) -> SyntheticInternet {
+        let cfg = self.config.clone();
+        let mut graph = AsGraph::new();
+        let mut tiers = Vec::new();
+        let mut coords: Vec<(f64, f64)> = Vec::new();
+        let mut next_asn = 1u32;
+        let w = cfg.world_size;
+
+        let mut alloc = |graph: &mut AsGraph,
+                         tiers: &mut Vec<AsTier>,
+                         coords: &mut Vec<(f64, f64)>,
+                         tier: AsTier,
+                         xy: (f64, f64)| {
+            let asn = Asn(next_asn);
+            next_asn += 1;
+            let idx = graph.add_node(asn) as usize;
+            debug_assert_eq!(idx, tiers.len());
+            tiers.push(tier);
+            coords.push(xy);
+            asn
+        };
+
+        // --- Tier-1 clique, spread around the world. ---
+        let mut tier1 = Vec::new();
+        for i in 0..cfg.tier1 {
+            let angle = i as f64 / cfg.tier1 as f64 * std::f64::consts::TAU;
+            let xy = (
+                w / 2.0 + w / 3.0 * angle.cos() + self.rng.gen_range(-w / 20.0..w / 20.0),
+                w / 2.0 + w / 3.0 * angle.sin() + self.rng.gen_range(-w / 20.0..w / 20.0),
+            );
+            tier1.push(alloc(
+                &mut graph,
+                &mut tiers,
+                &mut coords,
+                AsTier::Tier1,
+                xy,
+            ));
+        }
+        for i in 0..tier1.len() {
+            for j in (i + 1)..tier1.len() {
+                graph.add_edge(tier1[i], tier1[j], EdgeKind::PeerToPeer);
+            }
+        }
+
+        // --- Transit ASes. The real Internet's AS hierarchy is shallow
+        // (mean AS-path length ≈ 4), so transit ASes overwhelmingly buy
+        // transit from the tier-1 clique directly, and are multi-homed
+        // across several tier-1s; only a minority sit under another
+        // transit AS. ---
+        let mut transits: Vec<Asn> = Vec::new();
+        for _ in 0..cfg.transit {
+            let provider = if transits.is_empty() || self.rng.gen_bool(0.75) {
+                self.weighted_provider(&graph, tier1.iter())
+            } else {
+                self.weighted_provider(&graph, tier1.iter().chain(&transits))
+            };
+            let (px, py) = coords[graph.index_of(provider).unwrap() as usize];
+            let xy = (
+                clamp((px + self.rng.gen_range(-w / 6.0..w / 6.0)).abs(), w),
+                clamp((py + self.rng.gen_range(-w / 6.0..w / 6.0)).abs(), w),
+            );
+            let asn = alloc(&mut graph, &mut tiers, &mut coords, AsTier::Transit, xy);
+            graph.add_edge(provider, asn, EdgeKind::ProviderToCustomer);
+            // Transit ASes are multi-homed across additional tier-1s.
+            for _ in 0..self.rng.gen_range(2..=3) {
+                let second = self.weighted_provider(&graph, tier1.iter());
+                if second != asn && graph.edge_kind(second, asn).is_none() {
+                    graph.add_edge(second, asn, EdgeKind::ProviderToCustomer);
+                }
+            }
+            transits.push(asn);
+        }
+
+        // --- Peering among transit ASes, preferring nearby ones. ---
+        let peer_links = (cfg.transit as f64 * cfg.transit_peering / 2.0) as usize;
+        for _ in 0..peer_links {
+            if transits.len() < 2 {
+                break;
+            }
+            let a = *transits.choose(&mut self.rng).unwrap();
+            // Pick the geographically closest of a few random candidates:
+            // peering is regional.
+            let ai = graph.index_of(a).unwrap() as usize;
+            let best = (0..4)
+                .map(|_| *transits.choose(&mut self.rng).unwrap())
+                .filter(|&b| b != a && graph.edge_kind(a, b).is_none())
+                .min_by(|&x, &y| {
+                    let d = |b: Asn| {
+                        let bi = graph.index_of(b).unwrap() as usize;
+                        dist(coords[ai], coords[bi])
+                    };
+                    d(x).total_cmp(&d(y))
+                });
+            if let Some(b) = best {
+                graph.add_edge(a, b, EdgeKind::PeerToPeer);
+            }
+        }
+
+        // --- Stub ASes. ---
+        for _ in 0..cfg.stubs {
+            let provider = self.weighted_provider(&graph, tier1.iter().chain(&transits));
+            let (px, py) = coords[graph.index_of(provider).unwrap() as usize];
+            let xy = (
+                clamp((px + self.rng.gen_range(-w / 10.0..w / 10.0)).abs(), w),
+                clamp((py + self.rng.gen_range(-w / 10.0..w / 10.0)).abs(), w),
+            );
+            let asn = alloc(&mut graph, &mut tiers, &mut coords, AsTier::Stub, xy);
+            graph.add_edge(provider, asn, EdgeKind::ProviderToCustomer);
+            if self.rng.gen_bool(cfg.multihome_prob) {
+                // Second (occasionally third) provider — possibly far away,
+                // which is what creates useful relay shortcuts.
+                let extra = if self.rng.gen_bool(0.2) { 2 } else { 1 };
+                for _ in 0..extra {
+                    let p = self.weighted_provider(&graph, tier1.iter().chain(&transits));
+                    if p != asn {
+                        graph.add_edge(p, asn, EdgeKind::ProviderToCustomer);
+                    }
+                }
+            }
+            if self.rng.gen_bool(cfg.sibling_prob) {
+                let xy2 = (
+                    clamp((xy.0 + self.rng.gen_range(-1.0..1.0)).abs(), w),
+                    clamp((xy.1 + self.rng.gen_range(-1.0..1.0)).abs(), w),
+                );
+                let sib = alloc(&mut graph, &mut tiers, &mut coords, AsTier::Stub, xy2);
+                graph.add_edge(asn, sib, EdgeKind::SiblingToSibling);
+                graph.add_edge(provider, sib, EdgeKind::ProviderToCustomer);
+            }
+        }
+
+        SyntheticInternet {
+            graph,
+            tiers,
+            coords,
+        }
+    }
+
+    /// Picks a provider among `candidates` with probability proportional to
+    /// degree + 1 (preferential attachment).
+    fn weighted_provider<'a>(
+        &mut self,
+        graph: &AsGraph,
+        candidates: impl Iterator<Item = &'a Asn>,
+    ) -> Asn {
+        let pool: Vec<Asn> = candidates.copied().collect();
+        assert!(!pool.is_empty(), "provider pool must not be empty");
+        let total: usize = pool.iter().map(|&a| graph.degree(a) + 1).sum();
+        let mut pick = self.rng.gen_range(0..total);
+        for &a in &pool {
+            let wgt = graph.degree(a) + 1;
+            if pick < wgt {
+                return a;
+            }
+            pick -= wgt;
+        }
+        *pool.last().unwrap()
+    }
+}
+
+fn clamp(v: f64, max: f64) -> f64 {
+    v.min(max).max(0.0)
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valley;
+
+    fn internet() -> SyntheticInternet {
+        InternetGenerator::new(InternetConfig::tiny(), 7).generate()
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let net = internet();
+        let cfg = InternetConfig::tiny();
+        // Siblings may add a few extra stubs.
+        assert!(net.graph.node_count() >= cfg.tier1 + cfg.transit + cfg.stubs);
+        assert_eq!(net.tiers.len(), net.graph.node_count());
+        assert_eq!(net.coords.len(), net.graph.node_count());
+    }
+
+    #[test]
+    fn tier1_is_a_peering_clique() {
+        let net = internet();
+        let t1: Vec<Asn> = net
+            .graph
+            .asns()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| net.tiers[*i] == AsTier::Tier1)
+            .map(|(_, &a)| a)
+            .collect();
+        for i in 0..t1.len() {
+            for j in (i + 1)..t1.len() {
+                assert_eq!(
+                    net.graph.edge_kind(t1[i], t1[j]),
+                    Some(EdgeKind::PeerToPeer)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_as_has_a_provider_path_to_the_core() {
+        let net = internet();
+        for (i, &asn) in net.graph.asns().iter().enumerate() {
+            if net.tiers[i] == AsTier::Tier1 {
+                continue;
+            }
+            // Walk up providers; must reach tier-1 within a bounded number
+            // of steps (no provider cycles).
+            let mut current = asn;
+            let mut steps = 0;
+            loop {
+                let Some(p) = net.graph.providers(current).next() else {
+                    // Sibling stubs may rely on their sibling's provider.
+                    let has_sibling_with_provider = net
+                        .graph
+                        .neighbors(current)
+                        .iter()
+                        .any(|(_, k)| *k == EdgeKind::SiblingToSibling);
+                    assert!(has_sibling_with_provider, "{asn} has no upstream at all");
+                    break;
+                };
+                current = p;
+                steps += 1;
+                assert!(steps < 64, "provider chain from {asn} does not terminate");
+                if net.tier(current) == Some(AsTier::Tier1) {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stubs_never_have_customers() {
+        let net = internet();
+        for (i, &asn) in net.graph.asns().iter().enumerate() {
+            if net.tiers[i] == AsTier::Stub {
+                assert_eq!(
+                    net.graph.customers(asn).count(),
+                    0,
+                    "{asn} is a stub with customers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multihomed_stubs_exist() {
+        let net = internet();
+        let stubs = net.stub_asns();
+        let multihomed = stubs
+            .iter()
+            .filter(|&&a| net.graph.is_multi_homed(a))
+            .count();
+        assert!(multihomed > 0, "expected some multi-homed stubs");
+        assert!(
+            multihomed < stubs.len(),
+            "not every stub should be multi-homed"
+        );
+    }
+
+    #[test]
+    fn any_two_ases_connected_valley_free_through_the_core() {
+        // Valley-free reachability: a stub can reach the core uphill and any
+        // other AS lies downhill of the core, so generous hop bounds must
+        // connect random pairs.
+        let net = internet();
+        let stubs = net.stub_asns();
+        let (a, b) = (stubs[0], stubs[stubs.len() / 2]);
+        assert!(valley::valley_free_hops(&net.graph, a, b, 10).is_some());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = InternetGenerator::new(InternetConfig::tiny(), 99).generate();
+        let b = InternetGenerator::new(InternetConfig::tiny(), 99).generate();
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = InternetGenerator::new(InternetConfig::tiny(), 1).generate();
+        let b = InternetGenerator::new(InternetConfig::tiny(), 2).generate();
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn coordinates_inside_world() {
+        let net = internet();
+        let w = InternetConfig::tiny().world_size;
+        for &(x, y) in &net.coords {
+            assert!((0.0..=w).contains(&x) && (0.0..=w).contains(&y));
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let net = InternetGenerator::new(InternetConfig::default(), 3).generate();
+        let mut degrees: Vec<usize> = net
+            .graph
+            .asns()
+            .iter()
+            .map(|&a| net.graph.degree(a))
+            .collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // Top node should dominate the median by an order of magnitude.
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            degrees[0] >= median * 10,
+            "max {} vs median {}",
+            degrees[0],
+            median
+        );
+    }
+}

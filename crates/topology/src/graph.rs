@@ -1,0 +1,315 @@
+//! The annotated AS graph.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use asap_cluster::Asn;
+
+/// The commercial relationship annotating a *directed* AS adjacency, read
+/// as "the role of the source AS towards the destination AS".
+///
+/// Internet routing depends on the provider–customer and peer–peer
+/// contractual relationships between neighboring ASes: a provider transits
+/// traffic for its customers, peers exchange traffic between their own
+/// customers only, and siblings (two ASes of one organization) transit
+/// freely for each other. These rules give AS-level paths the valley-free
+/// property that ASAP's close-cluster-set BFS must respect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// The source AS is a provider of the destination AS.
+    ProviderToCustomer,
+    /// The source AS is a customer of the destination AS.
+    CustomerToProvider,
+    /// The two ASes have a settlement-free peering agreement.
+    PeerToPeer,
+    /// The two ASes belong to the same organization.
+    SiblingToSibling,
+}
+
+impl EdgeKind {
+    /// The annotation of the same adjacency viewed from the other side.
+    pub fn reverse(self) -> EdgeKind {
+        match self {
+            EdgeKind::ProviderToCustomer => EdgeKind::CustomerToProvider,
+            EdgeKind::CustomerToProvider => EdgeKind::ProviderToCustomer,
+            EdgeKind::PeerToPeer => EdgeKind::PeerToPeer,
+            EdgeKind::SiblingToSibling => EdgeKind::SiblingToSibling,
+        }
+    }
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdgeKind::ProviderToCustomer => "p2c",
+            EdgeKind::CustomerToProvider => "c2p",
+            EdgeKind::PeerToPeer => "p2p",
+            EdgeKind::SiblingToSibling => "s2s",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Dense internal index of an AS inside an [`AsGraph`].
+pub(crate) type NodeIdx = u32;
+
+/// An annotated AS-level graph of the Internet.
+///
+/// Nodes are [`Asn`]s; every undirected adjacency is stored twice, once per
+/// direction, with mirrored [`EdgeKind`] annotations. Node indices are
+/// dense, which lets the routing and search layers use flat `Vec` state.
+///
+/// ```
+/// use asap_topology::{AsGraph, EdgeKind};
+/// use asap_cluster::Asn;
+///
+/// let mut g = AsGraph::new();
+/// g.add_edge(Asn(10), Asn(20), EdgeKind::ProviderToCustomer);
+/// assert_eq!(g.edge_kind(Asn(20), Asn(10)), Some(EdgeKind::CustomerToProvider));
+/// assert_eq!(g.degree(Asn(10)), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AsGraph {
+    asns: Vec<Asn>,
+    index: HashMap<Asn, NodeIdx>,
+    adj: Vec<Vec<(NodeIdx, EdgeKind)>>,
+    edge_count: usize,
+}
+
+impl AsGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        AsGraph::default()
+    }
+
+    /// Adds `asn` as an isolated node if not yet present; returns its dense
+    /// index either way.
+    pub fn add_node(&mut self, asn: Asn) -> u32 {
+        if let Some(&idx) = self.index.get(&asn) {
+            return idx;
+        }
+        let idx = self.asns.len() as NodeIdx;
+        self.asns.push(asn);
+        self.adj.push(Vec::new());
+        self.index.insert(asn, idx);
+        idx
+    }
+
+    /// Adds the undirected adjacency `a — b` annotated `kind` (viewed from
+    /// `a`); the reverse direction is annotated [`EdgeKind::reverse`].
+    /// Creates missing nodes. Replaces the annotation if the adjacency
+    /// already exists. Self-loops are ignored.
+    pub fn add_edge(&mut self, a: Asn, b: Asn, kind: EdgeKind) {
+        if a == b {
+            return;
+        }
+        let ia = self.add_node(a);
+        let ib = self.add_node(b);
+        let fwd = &mut self.adj[ia as usize];
+        if let Some(slot) = fwd.iter_mut().find(|(n, _)| *n == ib) {
+            slot.1 = kind;
+            let back = &mut self.adj[ib as usize];
+            if let Some(slot) = back.iter_mut().find(|(n, _)| *n == ia) {
+                slot.1 = kind.reverse();
+            }
+            return;
+        }
+        fwd.push((ib, kind));
+        self.adj[ib as usize].push((ia, kind.reverse()));
+        self.edge_count += 1;
+    }
+
+    /// Number of AS nodes.
+    pub fn node_count(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Number of undirected AS links.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph contains `asn`.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.index.contains_key(&asn)
+    }
+
+    /// The dense index of `asn`, if present.
+    pub fn index_of(&self, asn: Asn) -> Option<u32> {
+        self.index.get(&asn).copied()
+    }
+
+    /// The AS at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn asn_at(&self, idx: u32) -> Asn {
+        self.asns[idx as usize]
+    }
+
+    /// All AS numbers, ordered by dense index.
+    pub fn asns(&self) -> &[Asn] {
+        &self.asns
+    }
+
+    /// The neighbors of `asn` with their edge annotations (viewed from
+    /// `asn`). Empty if `asn` is absent.
+    pub fn neighbors(&self, asn: Asn) -> &[(u32, EdgeKind)] {
+        match self.index_of(asn) {
+            Some(idx) => &self.adj[idx as usize],
+            None => &[],
+        }
+    }
+
+    /// Neighbors by dense index.
+    pub(crate) fn neighbors_idx(&self, idx: NodeIdx) -> &[(NodeIdx, EdgeKind)] {
+        &self.adj[idx as usize]
+    }
+
+    /// The annotation of edge `a → b`, if the adjacency exists.
+    pub fn edge_kind(&self, a: Asn, b: Asn) -> Option<EdgeKind> {
+        let ib = self.index_of(b)?;
+        self.neighbors(a)
+            .iter()
+            .find(|(n, _)| *n == ib)
+            .map(|(_, k)| *k)
+    }
+
+    /// The connection degree of `asn` (0 if absent). Used both by the DEDI
+    /// baseline (which probes nodes in the highest-degree clusters) and by
+    /// Gao inference (degree identifies top providers).
+    pub fn degree(&self, asn: Asn) -> usize {
+        self.neighbors(asn).len()
+    }
+
+    /// The providers of `asn` (neighbors it has a customer-to-provider edge
+    /// towards).
+    pub fn providers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors(asn)
+            .iter()
+            .filter(|(_, k)| *k == EdgeKind::CustomerToProvider)
+            .map(move |(n, _)| self.asn_at(*n))
+    }
+
+    /// The customers of `asn`.
+    pub fn customers(&self, asn: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors(asn)
+            .iter()
+            .filter(|(_, k)| *k == EdgeKind::ProviderToCustomer)
+            .map(move |(n, _)| self.asn_at(*n))
+    }
+
+    /// Whether `asn` is multi-homed, i.e. has more than one provider. The
+    /// paper's Fig. 4 shows multi-homed customer ASes are exactly the ones
+    /// whose relay paths can beat direct BGP routing.
+    pub fn is_multi_homed(&self, asn: Asn) -> bool {
+        self.providers(asn).take(2).count() == 2
+    }
+
+    /// Iterates over all undirected edges once, as `(a, b, kind-from-a)`
+    /// with `index(a) < index(b)`.
+    pub fn edges(&self) -> impl Iterator<Item = (Asn, Asn, EdgeKind)> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(ia, nbrs)| {
+            nbrs.iter()
+                .filter(move |(ib, _)| (ia as NodeIdx) < *ib)
+                .map(move |(ib, k)| (self.asns[ia], self.asns[*ib as usize], *k))
+        })
+    }
+
+    /// Size in bytes of a compact binary encoding of the graph (4-byte ASN
+    /// per node, 4+4+1 bytes per edge). The paper reports ~800 KB for the
+    /// 2005-09-26 Internet AS graph (20,955 nodes / 56,907 links); this is
+    /// the §6.3 bootstrap-storage figure.
+    pub fn encoded_size_bytes(&self) -> usize {
+        self.node_count() * 4 + self.edge_count() * 9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_mirrors_kind() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(1), Asn(2), EdgeKind::ProviderToCustomer);
+        assert_eq!(
+            g.edge_kind(Asn(1), Asn(2)),
+            Some(EdgeKind::ProviderToCustomer)
+        );
+        assert_eq!(
+            g.edge_kind(Asn(2), Asn(1)),
+            Some(EdgeKind::CustomerToProvider)
+        );
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn re_adding_edge_replaces_annotation() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(1), Asn(2), EdgeKind::ProviderToCustomer);
+        g.add_edge(Asn(1), Asn(2), EdgeKind::PeerToPeer);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_kind(Asn(2), Asn(1)), Some(EdgeKind::PeerToPeer));
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(1), Asn(1), EdgeKind::PeerToPeer);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn providers_customers_multihoming() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(10), Asn(1), EdgeKind::CustomerToProvider);
+        g.add_edge(Asn(10), Asn(2), EdgeKind::CustomerToProvider);
+        g.add_edge(Asn(10), Asn(11), EdgeKind::ProviderToCustomer);
+        let mut providers: Vec<Asn> = g.providers(Asn(10)).collect();
+        providers.sort();
+        assert_eq!(providers, vec![Asn(1), Asn(2)]);
+        assert_eq!(g.customers(Asn(10)).collect::<Vec<_>>(), vec![Asn(11)]);
+        assert!(g.is_multi_homed(Asn(10)));
+        assert!(!g.is_multi_homed(Asn(11)));
+    }
+
+    #[test]
+    fn edges_iterates_each_link_once() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(1), Asn(2), EdgeKind::PeerToPeer);
+        g.add_edge(Asn(2), Asn(3), EdgeKind::ProviderToCustomer);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn encoded_size_tracks_counts() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(1), Asn(2), EdgeKind::PeerToPeer);
+        assert_eq!(g.encoded_size_bytes(), 2 * 4 + 9);
+    }
+
+    #[test]
+    fn absent_nodes_behave() {
+        let g = AsGraph::new();
+        assert!(!g.contains(Asn(5)));
+        assert_eq!(g.degree(Asn(5)), 0);
+        assert_eq!(g.edge_kind(Asn(5), Asn(6)), None);
+        assert!(g.neighbors(Asn(5)).is_empty());
+    }
+
+    #[test]
+    fn kind_reverse_is_involutive() {
+        for k in [
+            EdgeKind::ProviderToCustomer,
+            EdgeKind::CustomerToProvider,
+            EdgeKind::PeerToPeer,
+            EdgeKind::SiblingToSibling,
+        ] {
+            assert_eq!(k.reverse().reverse(), k);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! AS-path reconstruction and inference accuracy.
+//!
+//! ASAP's close-set BFS reasons about *hop counts*; some uses (the ED
+//! baseline, path-diversity reasoning) need the actual AS sequences. The
+//! paper leans on Mao et al. (SIGMETRICS'05): "it is reasonably accurate
+//! to infer AS paths by computing the shortest AS hops paths" under the
+//! valley-free constraint. This module reconstructs shortest valley-free
+//! paths and quantifies that claim against the BGP policy routes.
+
+use std::collections::VecDeque;
+
+use asap_cluster::Asn;
+
+use crate::graph::AsGraph;
+use crate::routing::BgpRouter;
+use crate::valley::Phase;
+
+/// Reconstructs one shortest valley-free AS path from `src` to `dst`
+/// within `max_hops`, or `None` if none exists. Ties are broken towards
+/// lower neighbor ASNs, so the result is deterministic.
+pub fn shortest_valley_free_path(
+    graph: &AsGraph,
+    src: Asn,
+    dst: Asn,
+    max_hops: usize,
+) -> Option<Vec<Asn>> {
+    if src == dst {
+        return graph.contains(src).then(|| vec![src]);
+    }
+    let src_idx = graph.index_of(src)?;
+    let dst_idx = graph.index_of(dst)?;
+    let n = graph.node_count();
+    let phase_ix = |p: Phase| match p {
+        Phase::Up => 0usize,
+        Phase::Down => 1,
+    };
+    // Predecessor per (node, phase) state.
+    let mut pred: Vec<[Option<(u32, Phase)>; 2]> = vec![[None, None]; n];
+    let mut seen = vec![[false; 2]; n];
+    let mut queue: VecDeque<(u32, Phase, usize)> = VecDeque::new();
+    seen[src_idx as usize][0] = true;
+    queue.push_back((src_idx, Phase::Up, 0));
+
+    while let Some((idx, phase, hops)) = queue.pop_front() {
+        if idx == dst_idx {
+            // Walk predecessors back to the source.
+            let mut path = vec![graph.asn_at(idx)];
+            let mut state = (idx, phase);
+            while state.0 != src_idx {
+                let prev = pred[state.0 as usize][phase_ix(state.1)]
+                    .expect("every reached state has a predecessor chain to the source");
+                path.push(graph.asn_at(prev.0));
+                state = prev;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if hops == max_hops {
+            continue;
+        }
+        // Deterministic expansion order: sort neighbor list by ASN.
+        let mut nbrs: Vec<(u32, crate::graph::EdgeKind)> =
+            graph.neighbors(graph.asn_at(idx)).to_vec();
+        nbrs.sort_by_key(|&(nidx, _)| graph.asn_at(nidx));
+        for (next, kind) in nbrs {
+            let Some(next_phase) = phase.step(kind) else {
+                continue;
+            };
+            let slot = &mut seen[next as usize][phase_ix(next_phase)];
+            if !*slot {
+                *slot = true;
+                pred[next as usize][phase_ix(next_phase)] = Some((idx, phase));
+                queue.push_back((next, next_phase, hops + 1));
+            }
+        }
+    }
+    None
+}
+
+/// How well shortest-valley-free inference matches real policy routes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PathInferenceAccuracy {
+    /// Pairs compared (both a policy route and an inferred path existed).
+    pub compared: usize,
+    /// Inferred path identical to the policy route.
+    pub exact: usize,
+    /// Inferred path has the same AS-hop count as the policy route.
+    pub same_length: usize,
+}
+
+impl PathInferenceAccuracy {
+    /// Fraction with matching hop counts (the property ASAP relies on).
+    pub fn length_ratio(&self) -> f64 {
+        if self.compared == 0 {
+            1.0
+        } else {
+            self.same_length as f64 / self.compared as f64
+        }
+    }
+}
+
+/// Compares shortest-valley-free inference against BGP policy routes over
+/// the given source/destination pairs.
+pub fn path_inference_accuracy(
+    graph: &AsGraph,
+    pairs: &[(Asn, Asn)],
+    max_hops: usize,
+) -> PathInferenceAccuracy {
+    let mut router = BgpRouter::new();
+    let mut acc = PathInferenceAccuracy::default();
+    for &(s, d) in pairs {
+        if !graph.contains(s) || !graph.contains(d) {
+            continue;
+        }
+        let Some(policy) = router.path(graph, s, d) else {
+            continue;
+        };
+        let Some(inferred) = shortest_valley_free_path(graph, s, d, max_hops) else {
+            continue;
+        };
+        acc.compared += 1;
+        if inferred == policy {
+            acc.exact += 1;
+        }
+        if inferred.len() == policy.len() {
+            acc.same_length += 1;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{InternetConfig, InternetGenerator};
+    use crate::graph::EdgeKind;
+    use crate::valley;
+
+    fn chain() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(2), Asn(1), EdgeKind::ProviderToCustomer);
+        g.add_edge(Asn(3), Asn(2), EdgeKind::ProviderToCustomer);
+        g.add_edge(Asn(3), Asn(4), EdgeKind::ProviderToCustomer);
+        g.add_edge(Asn(4), Asn(5), EdgeKind::ProviderToCustomer);
+        g
+    }
+
+    #[test]
+    fn reconstructs_the_obvious_path() {
+        let g = chain();
+        let path = shortest_valley_free_path(&g, Asn(1), Asn(5), 6).unwrap();
+        assert_eq!(path, vec![Asn(1), Asn(2), Asn(3), Asn(4), Asn(5)]);
+    }
+
+    #[test]
+    fn respects_hop_bound() {
+        let g = chain();
+        assert!(shortest_valley_free_path(&g, Asn(1), Asn(5), 3).is_none());
+        assert!(shortest_valley_free_path(&g, Asn(1), Asn(5), 4).is_some());
+    }
+
+    #[test]
+    fn trivial_and_missing_cases() {
+        let g = chain();
+        assert_eq!(
+            shortest_valley_free_path(&g, Asn(1), Asn(1), 4),
+            Some(vec![Asn(1)])
+        );
+        assert_eq!(shortest_valley_free_path(&g, Asn(1), Asn(99), 4), None);
+        assert_eq!(shortest_valley_free_path(&g, Asn(99), Asn(1), 4), None);
+    }
+
+    #[test]
+    fn reconstruction_is_valley_free_and_minimal() {
+        let net = InternetGenerator::new(InternetConfig::tiny(), 31).generate();
+        let stubs = net.stub_asns();
+        for i in 0..10 {
+            let (s, d) = (stubs[i], stubs[stubs.len() - 1 - i]);
+            if let Some(path) = shortest_valley_free_path(&net.graph, s, d, 8) {
+                assert!(valley::is_valley_free(&net.graph, &path));
+                let hops = valley::valley_free_hops(&net.graph, s, d, 8).unwrap();
+                assert_eq!(path.len() - 1, hops, "reconstructed path not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn inference_matches_policy_lengths_mostly() {
+        // The Mao et al. claim the paper relies on: shortest valley-free
+        // hop counts track real policy routes.
+        let net = InternetGenerator::new(InternetConfig::tiny(), 32).generate();
+        let stubs = net.stub_asns();
+        let pairs: Vec<(Asn, Asn)> = (0..40)
+            .map(|i| (stubs[i % stubs.len()], stubs[(i * 7 + 3) % stubs.len()]))
+            .collect();
+        let acc = path_inference_accuracy(&net.graph, &pairs, 10);
+        assert!(acc.compared >= 30);
+        assert!(
+            acc.length_ratio() > 0.8,
+            "only {:.2} of inferred paths match policy hop counts",
+            acc.length_ratio()
+        );
+        assert!(acc.exact <= acc.same_length);
+    }
+}

@@ -1,0 +1,228 @@
+//! Synthetic BGP RIB (routing table dump) generation.
+//!
+//! The paper builds its prefix→origin-AS table and annotated AS graph from
+//! BGP routing-table entries and updates collected at RouteViews, RIPE RIS,
+//! and CERNET. This module emulates such a collection: prefixes are
+//! announced by their origin ASes, routes propagate under BGP policy, and a
+//! set of *vantage-point* ASes (the collectors' BGP neighbors) record the
+//! AS path they would use towards every prefix. The resulting
+//! [`RibEntry`] list is what [`crate::gao`] consumes to re-infer the
+//! annotated graph, and what [`extract_prefix_table`] turns into the
+//! IP-prefix → origin-AS mapping the bootstrap nodes serve.
+
+use asap_cluster::{Asn, Prefix, PrefixTable};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::graph::AsGraph;
+use crate::routing::BgpRouter;
+
+/// One BGP routing-table entry as seen from a vantage point: a prefix and
+/// the AS path towards its origin (vantage first, origin last).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibEntry {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// AS path from the vantage AS (first element) to the origin AS (last
+    /// element).
+    pub as_path: Vec<Asn>,
+}
+
+impl RibEntry {
+    /// The origin AS — the last AS on the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AS path is empty (a RIB entry always carries at least
+    /// the origin).
+    pub fn origin(&self) -> Asn {
+        *self.as_path.last().expect("RIB entry with empty AS path")
+    }
+}
+
+/// Configuration of the synthetic RIB collection.
+#[derive(Debug, Clone)]
+pub struct RibConfig {
+    /// Number of vantage-point ASes recording their tables (RouteViews has
+    /// dozens of peers; more vantage points → better inference coverage).
+    pub vantage_points: usize,
+    /// RNG seed for vantage-point selection.
+    pub seed: u64,
+}
+
+impl Default for RibConfig {
+    fn default() -> Self {
+        RibConfig {
+            vantage_points: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// Collects a synthetic RIB: for every `(prefix, origin)` announcement and
+/// every vantage point, the BGP policy path from the vantage point to the
+/// origin (where one exists).
+///
+/// Vantage points are sampled uniformly from the graph's ASes — like real
+/// route collectors, they see only the paths *their* neighbors choose, so
+/// the inference in [`crate::gao`] works from a partial view.
+pub fn collect_rib(
+    graph: &AsGraph,
+    announcements: &[(Prefix, Asn)],
+    config: &RibConfig,
+) -> Vec<RibEntry> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut vantages: Vec<Asn> = graph.asns().to_vec();
+    vantages.shuffle(&mut rng);
+    vantages.truncate(config.vantage_points.min(vantages.len()));
+
+    let mut router = BgpRouter::new();
+    let mut rib = Vec::new();
+    for &(prefix, origin) in announcements {
+        if !graph.contains(origin) {
+            continue;
+        }
+        let tree = router.tree(graph, origin);
+        for &v in &vantages {
+            if let Some(path) = tree.path_from(graph, v) {
+                rib.push(RibEntry {
+                    prefix,
+                    as_path: path,
+                });
+            }
+        }
+    }
+    rib
+}
+
+/// Extracts the IP-prefix → origin-AS mapping table from RIB entries, the
+/// way the paper's bootstrap nodes do from real BGP dumps.
+pub fn extract_prefix_table(rib: &[RibEntry]) -> PrefixTable {
+    rib.iter().map(|e| (e.prefix, e.origin())).collect()
+}
+
+/// Extracts the set of undirected AS adjacencies appearing on RIB paths
+/// (the unannotated AS-AS connection relationships the paper mentions
+/// extracting from BGP tables).
+pub fn extract_adjacencies(rib: &[RibEntry]) -> Vec<(Asn, Asn)> {
+    let mut edges: Vec<(Asn, Asn)> = rib
+        .iter()
+        .flat_map(|e| e.as_path.windows(2))
+        .map(|w| {
+            if w[0] <= w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            }
+        })
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{InternetConfig, InternetGenerator};
+    use crate::valley;
+
+    fn setup() -> (crate::gen::SyntheticInternet, Vec<(Prefix, Asn)>) {
+        let net = InternetGenerator::new(InternetConfig::tiny(), 5).generate();
+        let stubs = net.stub_asns();
+        let announcements: Vec<(Prefix, Asn)> = stubs
+            .iter()
+            .enumerate()
+            .map(|(i, &asn)| {
+                let base = asap_cluster::Ip::from_octets([10, (i >> 8) as u8, (i & 255) as u8, 0]);
+                (Prefix::new(base, 24), asn)
+            })
+            .collect();
+        (net, announcements)
+    }
+
+    #[test]
+    fn rib_paths_end_at_origin_and_are_valley_free() {
+        let (net, ann) = setup();
+        let rib = collect_rib(
+            &net.graph,
+            &ann,
+            &RibConfig {
+                vantage_points: 5,
+                seed: 1,
+            },
+        );
+        assert!(!rib.is_empty());
+        for e in &rib {
+            let want_origin = ann.iter().find(|(p, _)| *p == e.prefix).unwrap().1;
+            assert_eq!(e.origin(), want_origin);
+            assert!(valley::is_valley_free(&net.graph, &e.as_path));
+        }
+    }
+
+    #[test]
+    fn prefix_table_maps_prefixes_to_origins() {
+        let (net, ann) = setup();
+        let rib = collect_rib(
+            &net.graph,
+            &ann,
+            &RibConfig {
+                vantage_points: 5,
+                seed: 1,
+            },
+        );
+        let table = extract_prefix_table(&rib);
+        for (prefix, origin) in &ann {
+            // Prefixes that at least one vantage point could route to must
+            // be mapped to their true origin.
+            if rib.iter().any(|e| e.prefix == *prefix) {
+                assert_eq!(table.origin_of_prefix(*prefix), Some(*origin));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacencies_are_real_graph_edges() {
+        let (net, ann) = setup();
+        let rib = collect_rib(&net.graph, &ann, &RibConfig::default());
+        let adj = extract_adjacencies(&rib);
+        assert!(!adj.is_empty());
+        for (a, b) in adj {
+            assert!(
+                net.graph.edge_kind(a, b).is_some(),
+                "RIB edge {a}-{b} not in graph"
+            );
+        }
+    }
+
+    #[test]
+    fn more_vantage_points_see_more_edges() {
+        let (net, ann) = setup();
+        let few = collect_rib(
+            &net.graph,
+            &ann,
+            &RibConfig {
+                vantage_points: 2,
+                seed: 3,
+            },
+        );
+        let many = collect_rib(
+            &net.graph,
+            &ann,
+            &RibConfig {
+                vantage_points: 40,
+                seed: 3,
+            },
+        );
+        assert!(extract_adjacencies(&few).len() <= extract_adjacencies(&many).len());
+    }
+
+    #[test]
+    fn unknown_origins_are_skipped() {
+        let (net, _) = setup();
+        let ann = vec![(Prefix::new(asap_cluster::Ip(0), 8), Asn(999_999))];
+        let rib = collect_rib(&net.graph, &ann, &RibConfig::default());
+        assert!(rib.is_empty());
+    }
+}

@@ -1,0 +1,391 @@
+//! BGP update streams and incremental table maintenance.
+//!
+//! The paper's bootstrap nodes build their tables "from BGP routing table
+//! entries and BGP updates" and keep the AS graph "up-to-date"; §6.3 then
+//! argues the load is low because "BGP routing tables do not change
+//! frequently". This module provides both halves of that story:
+//!
+//! * [`UpdateGenerator`] synthesizes a realistic update stream over a
+//!   synthetic Internet — route flaps (withdraw + re-announce), path
+//!   changes, and occasional origin changes;
+//! * [`RibMirror`] is what a bootstrap runs: it applies updates
+//!   incrementally, keeping the prefix→origin table and the observed
+//!   adjacency set current without rebuilding anything.
+
+use std::collections::HashMap;
+
+use asap_cluster::{Asn, Prefix, PrefixTable};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::AsGraph;
+use crate::rib::RibEntry;
+use crate::routing::BgpRouter;
+
+/// One BGP update message with its (virtual) timestamp in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BgpUpdate {
+    /// Seconds since the start of the collection window.
+    pub at_secs: u64,
+    /// The update body.
+    pub kind: UpdateKind,
+}
+
+/// The body of a BGP update.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateKind {
+    /// A (re-)announcement of `prefix` with a full AS path (origin last).
+    Announce {
+        /// The announced prefix.
+        prefix: Prefix,
+        /// AS path from the vantage point to the origin.
+        as_path: Vec<Asn>,
+    },
+    /// A withdrawal of `prefix`.
+    Withdraw {
+        /// The withdrawn prefix.
+        prefix: Prefix,
+    },
+}
+
+/// Configuration of the synthetic update stream.
+#[derive(Debug, Clone)]
+pub struct UpdateConfig {
+    /// Length of the collection window in seconds.
+    pub window_secs: u64,
+    /// Expected number of route flaps (withdraw, then re-announce ~30 s
+    /// later) per prefix over the window.
+    pub flaps_per_prefix: f64,
+    /// Expected number of path-change re-announcements per prefix.
+    pub path_changes_per_prefix: f64,
+    /// Probability that a prefix changes origin once during the window
+    /// (acquisitions, address transfers — rare).
+    pub origin_change_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        UpdateConfig {
+            window_secs: 86_400,
+            flaps_per_prefix: 0.05,
+            path_changes_per_prefix: 0.2,
+            origin_change_prob: 0.002,
+            seed: 0,
+        }
+    }
+}
+
+/// Synthesizes BGP update streams from an initial RIB.
+#[derive(Debug)]
+pub struct UpdateGenerator<'a> {
+    graph: &'a AsGraph,
+    config: UpdateConfig,
+}
+
+impl<'a> UpdateGenerator<'a> {
+    /// Creates a generator over `graph`.
+    pub fn new(graph: &'a AsGraph, config: UpdateConfig) -> Self {
+        UpdateGenerator { graph, config }
+    }
+
+    /// Generates a time-sorted update stream for the prefixes of an
+    /// initial RIB (single-vantage view: the first path per prefix wins).
+    pub fn generate(&self, initial: &[RibEntry]) -> Vec<BgpUpdate> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut router = BgpRouter::new();
+        let mut updates = Vec::new();
+        let mut seen: HashMap<Prefix, &RibEntry> = HashMap::new();
+        for e in initial {
+            seen.entry(e.prefix).or_insert(e);
+        }
+
+        for (&prefix, entry) in &seen {
+            let vantage = entry.as_path[0];
+            // Route flaps: withdraw, re-announce half a minute later.
+            let flaps = poissonish(&mut rng, self.config.flaps_per_prefix);
+            for _ in 0..flaps {
+                let at = rng.gen_range(0..self.config.window_secs.saturating_sub(60).max(1));
+                updates.push(BgpUpdate {
+                    at_secs: at,
+                    kind: UpdateKind::Withdraw { prefix },
+                });
+                updates.push(BgpUpdate {
+                    at_secs: at + rng.gen_range(10..60),
+                    kind: UpdateKind::Announce {
+                        prefix,
+                        as_path: entry.as_path.clone(),
+                    },
+                });
+            }
+            // Path changes: re-announce with a perturbed path (the vantage
+            // hears the route through a different neighbor). We emulate by
+            // recomputing the path from a random other vantage.
+            let changes = poissonish(&mut rng, self.config.path_changes_per_prefix);
+            for _ in 0..changes {
+                let alt_vantage = *self.graph.asns().choose(&mut rng).expect("graph has nodes");
+                if let Some(path) = router.path(self.graph, alt_vantage, entry.origin()) {
+                    updates.push(BgpUpdate {
+                        at_secs: rng.gen_range(0..self.config.window_secs.max(1)),
+                        kind: UpdateKind::Announce {
+                            prefix,
+                            as_path: path,
+                        },
+                    });
+                }
+            }
+            // Rare origin change: the prefix moves to a random other AS.
+            if rng.gen_bool(self.config.origin_change_prob) {
+                let new_origin = *self.graph.asns().choose(&mut rng).unwrap();
+                if let Some(path) = router.path(self.graph, vantage, new_origin) {
+                    updates.push(BgpUpdate {
+                        at_secs: rng.gen_range(0..self.config.window_secs.max(1)),
+                        kind: UpdateKind::Announce {
+                            prefix,
+                            as_path: path,
+                        },
+                    });
+                }
+            }
+        }
+        updates.sort_by_key(|u| u.at_secs);
+        updates
+    }
+}
+
+/// Approximate Poisson sampling good enough for small rates.
+fn poissonish(rng: &mut StdRng, rate: f64) -> usize {
+    let mut n = rate.floor() as usize;
+    if rng.gen_bool(rate.fract().clamp(0.0, 1.0)) {
+        n += 1;
+    }
+    n
+}
+
+/// A bootstrap's live mirror of the routing table: the prefix→origin
+/// mapping plus the adjacency set observed on AS paths, maintained
+/// incrementally from updates.
+#[derive(Debug, Default)]
+pub struct RibMirror {
+    table: PrefixTable,
+    paths: HashMap<Prefix, Vec<Asn>>,
+    /// Counters for the §6.3 load story.
+    pub announcements_applied: u64,
+    /// Withdrawals applied.
+    pub withdrawals_applied: u64,
+}
+
+impl RibMirror {
+    /// Starts from an initial RIB (first entry per prefix wins, matching
+    /// a single-vantage bootstrap).
+    pub fn from_rib(initial: &[RibEntry]) -> Self {
+        let mut mirror = RibMirror::default();
+        for e in initial {
+            if !mirror.paths.contains_key(&e.prefix) {
+                mirror.table.insert(e.prefix, e.origin());
+                mirror.paths.insert(e.prefix, e.as_path.clone());
+            }
+        }
+        mirror
+    }
+
+    /// Applies one update.
+    pub fn apply(&mut self, update: &BgpUpdate) {
+        match &update.kind {
+            UpdateKind::Announce { prefix, as_path } => {
+                let origin = *as_path.last().expect("announcement with empty path");
+                self.table.insert(*prefix, origin);
+                self.paths.insert(*prefix, as_path.clone());
+                self.announcements_applied += 1;
+            }
+            UpdateKind::Withdraw { prefix } => {
+                self.table.remove(*prefix);
+                self.paths.remove(prefix);
+                self.withdrawals_applied += 1;
+            }
+        }
+    }
+
+    /// The current prefix → origin-AS table.
+    pub fn table(&self) -> &PrefixTable {
+        &self.table
+    }
+
+    /// The current AS path towards `prefix`, if announced.
+    pub fn path_of(&self, prefix: Prefix) -> Option<&[Asn]> {
+        self.paths.get(&prefix).map(Vec::as_slice)
+    }
+
+    /// The set of AS adjacencies currently observed on announced paths —
+    /// the raw material for keeping the annotated AS graph up to date.
+    pub fn current_adjacencies(&self) -> Vec<(Asn, Asn)> {
+        let mut edges: Vec<(Asn, Asn)> = self
+            .paths
+            .values()
+            .flat_map(|p| p.windows(2))
+            .map(|w| {
+                if w[0] <= w[1] {
+                    (w[0], w[1])
+                } else {
+                    (w[1], w[0])
+                }
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{InternetConfig, InternetGenerator};
+    use crate::rib::{collect_rib, RibConfig};
+    use asap_cluster::Ip;
+
+    fn setup() -> (crate::gen::SyntheticInternet, Vec<RibEntry>) {
+        let net = InternetGenerator::new(InternetConfig::tiny(), 8).generate();
+        let stubs = net.stub_asns();
+        let announcements: Vec<(Prefix, Asn)> = stubs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (Prefix::new(Ip::from_octets([10, 0, i as u8, 0]), 24), a))
+            .collect();
+        let rib = collect_rib(
+            &net.graph,
+            &announcements,
+            &RibConfig {
+                vantage_points: 6,
+                seed: 3,
+            },
+        );
+        (net, rib)
+    }
+
+    #[test]
+    fn mirror_tracks_announce_and_withdraw() {
+        let (_, rib) = setup();
+        let mut mirror = RibMirror::from_rib(&rib);
+        let prefix = rib[0].prefix;
+        let origin = rib[0].origin();
+        assert_eq!(mirror.table().origin_of_prefix(prefix), Some(origin));
+
+        mirror.apply(&BgpUpdate {
+            at_secs: 1,
+            kind: UpdateKind::Withdraw { prefix },
+        });
+        assert_eq!(mirror.table().origin_of_prefix(prefix), None);
+        assert_eq!(mirror.path_of(prefix), None);
+
+        mirror.apply(&BgpUpdate {
+            at_secs: 2,
+            kind: UpdateKind::Announce {
+                prefix,
+                as_path: rib[0].as_path.clone(),
+            },
+        });
+        assert_eq!(mirror.table().origin_of_prefix(prefix), Some(origin));
+        assert_eq!(mirror.withdrawals_applied, 1);
+        assert_eq!(mirror.announcements_applied, 1);
+    }
+
+    #[test]
+    fn generated_stream_is_time_sorted_and_flaps_recover() {
+        let (net, rib) = setup();
+        let config = UpdateConfig {
+            flaps_per_prefix: 1.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let updates = UpdateGenerator::new(&net.graph, config).generate(&rib);
+        assert!(!updates.is_empty());
+        for w in updates.windows(2) {
+            assert!(w[0].at_secs <= w[1].at_secs);
+        }
+        // Replaying the whole stream leaves every flapped prefix announced
+        // again (withdrawals precede their re-announcements).
+        let mut mirror = RibMirror::from_rib(&rib);
+        let before = mirror.table().len();
+        for u in &updates {
+            mirror.apply(u);
+        }
+        assert_eq!(mirror.table().len(), before);
+    }
+
+    #[test]
+    fn path_changes_keep_origin_unless_origin_change() {
+        let (net, rib) = setup();
+        let config = UpdateConfig {
+            flaps_per_prefix: 0.0,
+            path_changes_per_prefix: 1.0,
+            origin_change_prob: 0.0,
+            seed: 7,
+            ..Default::default()
+        };
+        let updates = UpdateGenerator::new(&net.graph, config).generate(&rib);
+        let mut mirror = RibMirror::from_rib(&rib);
+        let origins: Vec<(Prefix, Option<Asn>)> = rib
+            .iter()
+            .map(|e| (e.prefix, mirror.table().origin_of_prefix(e.prefix)))
+            .collect();
+        for u in &updates {
+            mirror.apply(u);
+        }
+        for (prefix, origin) in origins {
+            assert_eq!(
+                mirror.table().origin_of_prefix(prefix),
+                origin,
+                "{prefix} changed origin"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacencies_stay_real_edges() {
+        let (net, rib) = setup();
+        let updates = UpdateGenerator::new(
+            &net.graph,
+            UpdateConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .generate(&rib);
+        let mut mirror = RibMirror::from_rib(&rib);
+        for u in &updates {
+            mirror.apply(u);
+        }
+        for (a, b) in mirror.current_adjacencies() {
+            assert!(
+                net.graph.edge_kind(a, b).is_some(),
+                "{a}-{b} not a real link"
+            );
+        }
+    }
+
+    #[test]
+    fn update_rate_is_modest() {
+        // §6.3: "BGP routing tables do not change frequently" — the
+        // default stream averages well under one update per prefix per
+        // hour.
+        let (net, rib) = setup();
+        let updates = UpdateGenerator::new(
+            &net.graph,
+            UpdateConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .generate(&rib);
+        let prefixes: std::collections::HashSet<Prefix> = rib.iter().map(|e| e.prefix).collect();
+        let per_prefix_per_hour =
+            updates.len() as f64 / prefixes.len() as f64 / (86_400.0 / 3_600.0);
+        assert!(
+            per_prefix_per_hour < 1.0,
+            "update rate {per_prefix_per_hour:.2}/prefix/hour"
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! The valley-free path automaton and bounded valley-free searches.
+//!
+//! An AS-level route is *valley-free* when it climbs through zero or more
+//! customer→provider (or sibling) links, optionally crosses a single
+//! peer–peer link, and then descends through provider→customer (or
+//! sibling) links. Any other shape would require some AS to transit
+//! traffic it is not paid to carry. ASAP's close-cluster-set construction
+//! (paper Fig. 9) is a breadth-first search constrained to valley-free
+//! extensions, so this module is the heart of the protocol substrate.
+
+use std::collections::VecDeque;
+
+use asap_cluster::Asn;
+
+use crate::graph::{AsGraph, EdgeKind};
+
+/// The state of the valley-free automaton while walking a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Still climbing: customer→provider and sibling links allowed; a
+    /// peer link or a provider→customer link switches to [`Phase::Down`].
+    Up,
+    /// Descending: only provider→customer and sibling links allowed.
+    Down,
+}
+
+impl Phase {
+    /// Advances the automaton across one link, returning the new phase or
+    /// `None` if the extension would create a valley (or a second peering
+    /// link).
+    pub fn step(self, kind: EdgeKind) -> Option<Phase> {
+        match (self, kind) {
+            (Phase::Up, EdgeKind::CustomerToProvider) => Some(Phase::Up),
+            (Phase::Up, EdgeKind::SiblingToSibling) => Some(Phase::Up),
+            (Phase::Up, EdgeKind::PeerToPeer) => Some(Phase::Down),
+            (Phase::Up, EdgeKind::ProviderToCustomer) => Some(Phase::Down),
+            (Phase::Down, EdgeKind::ProviderToCustomer) => Some(Phase::Down),
+            (Phase::Down, EdgeKind::SiblingToSibling) => Some(Phase::Down),
+            (Phase::Down, _) => None,
+        }
+    }
+}
+
+/// Tests whether `path` (a sequence of ASes, each adjacent to the next in
+/// `graph`) is a valley-free route. Paths with a missing adjacency are not
+/// valley-free. Single-AS and empty paths are trivially valley-free.
+pub fn is_valley_free(graph: &AsGraph, path: &[Asn]) -> bool {
+    let mut phase = Phase::Up;
+    for w in path.windows(2) {
+        let Some(kind) = graph.edge_kind(w[0], w[1]) else {
+            return false;
+        };
+        match phase.step(kind) {
+            Some(next) => phase = next,
+            None => return false,
+        }
+    }
+    true
+}
+
+/// An AS reached by [`bounded_search`], with the hop count at which it was
+/// first reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reached {
+    /// The AS reached.
+    pub asn: Asn,
+    /// Valley-free AS hops from the search origin.
+    pub hops: usize,
+}
+
+/// Whether the bounded search should keep extending paths *through* an AS
+/// it has just reached. Returned by the visitor passed to
+/// [`bounded_search`]; pruning models Fig. 9's latency / loss-rate
+/// thresholds (`lat() > latT` stops path expansion without discarding the
+/// node itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expand {
+    /// Keep extending valley-free paths through this AS.
+    Continue,
+    /// Record the AS but do not extend paths through it.
+    Prune,
+}
+
+/// Breadth-first search from `origin` over valley-free paths of at most
+/// `max_hops` AS links, invoking `visit` the first time each AS is reached
+/// (at its minimal valley-free hop count). `visit` may prune expansion
+/// per-AS. The origin itself is not visited.
+///
+/// The search runs on the product of the graph and the two-phase
+/// valley-free automaton, so an AS reachable both on an uphill and a
+/// downhill prefix is explored through whichever arrives first — and, at
+/// equal hops, through the uphill state, which permits strictly more
+/// extensions.
+///
+/// Returns all reached ASes in visit order.
+pub fn bounded_search(
+    graph: &AsGraph,
+    origin: Asn,
+    max_hops: usize,
+    mut visit: impl FnMut(Reached) -> Expand,
+) -> Vec<Reached> {
+    let Some(origin_idx) = graph.index_of(origin) else {
+        return Vec::new();
+    };
+    let n = graph.node_count();
+    // seen[phase][node]: already enqueued in this automaton state.
+    let mut seen = vec![[false; 2]; n];
+    // reported[node]: visitor already invoked for this AS.
+    let mut reported = vec![false; n];
+    // pruned[node]: visitor asked not to expand through this AS.
+    let mut pruned = vec![false; n];
+    let mut out = Vec::new();
+
+    let phase_ix = |p: Phase| match p {
+        Phase::Up => 0usize,
+        Phase::Down => 1,
+    };
+
+    let mut queue: VecDeque<(u32, Phase, usize)> = VecDeque::new();
+    // Order matters at hop 0 only conceptually; Up is the start state.
+    seen[origin_idx as usize][0] = true;
+    queue.push_back((origin_idx, Phase::Up, 0));
+
+    while let Some((idx, phase, hops)) = queue.pop_front() {
+        if idx != origin_idx && !reported[idx as usize] {
+            reported[idx as usize] = true;
+            let reached = Reached {
+                asn: graph.asn_at(idx),
+                hops,
+            };
+            if visit(reached) == Expand::Prune {
+                pruned[idx as usize] = true;
+            }
+            out.push(reached);
+        }
+        if hops == max_hops || (idx != origin_idx && pruned[idx as usize]) {
+            continue;
+        }
+        for &(next, kind) in graph.neighbors_idx(idx) {
+            let Some(next_phase) = phase.step(kind) else {
+                continue;
+            };
+            let slot = &mut seen[next as usize][phase_ix(next_phase)];
+            if !*slot {
+                *slot = true;
+                queue.push_back((next, next_phase, hops + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Like [`bounded_search`], but ignoring the valley-free constraint: a
+/// plain breadth-first search over the undirected AS graph. Used by
+/// ablation experiments to quantify what policy-awareness buys — the
+/// unconstrained ball is larger, but the extra ASes are reached over
+/// paths BGP would never realize.
+pub fn bounded_search_unconstrained(
+    graph: &AsGraph,
+    origin: Asn,
+    max_hops: usize,
+    mut visit: impl FnMut(Reached) -> Expand,
+) -> Vec<Reached> {
+    let Some(origin_idx) = graph.index_of(origin) else {
+        return Vec::new();
+    };
+    let n = graph.node_count();
+    let mut seen = vec![false; n];
+    let mut pruned = vec![false; n];
+    let mut out = Vec::new();
+    let mut queue: VecDeque<(u32, usize)> = VecDeque::new();
+    seen[origin_idx as usize] = true;
+    queue.push_back((origin_idx, 0));
+    while let Some((idx, hops)) = queue.pop_front() {
+        if idx != origin_idx {
+            let reached = Reached {
+                asn: graph.asn_at(idx),
+                hops,
+            };
+            if visit(reached) == Expand::Prune {
+                pruned[idx as usize] = true;
+            }
+            out.push(reached);
+        }
+        if hops == max_hops || (idx != origin_idx && pruned[idx as usize]) {
+            continue;
+        }
+        for &(next, _) in graph.neighbors_idx(idx) {
+            if !seen[next as usize] {
+                seen[next as usize] = true;
+                queue.push_back((next, hops + 1));
+            }
+        }
+    }
+    out
+}
+
+/// The minimal number of AS links on a valley-free path from `src` to
+/// `dst`, if one of at most `max_hops` links exists.
+///
+/// The paper (citing Mao et al., SIGMETRICS'05) uses shortest valley-free
+/// AS-hop paths as a reasonably accurate stand-in for actual BGP paths,
+/// and observes that >90% of sessions with direct RTT below 300 ms cross
+/// no more than 4 AS hops — the justification for `k = 4` in
+/// `construct-close-cluster-set()`.
+pub fn valley_free_hops(graph: &AsGraph, src: Asn, dst: Asn, max_hops: usize) -> Option<usize> {
+    if src == dst {
+        return Some(0);
+    }
+    let mut found = None;
+    bounded_search(graph, src, max_hops, |r| {
+        if r.asn == dst && found.is_none() {
+            found = Some(r.hops);
+        }
+        Expand::Continue
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the annotated graph from the paper's Fig. 4 (right):
+    /// a multi-homed stub B under providers D and E shortens the path
+    /// between stubs A (under D) and C (under E).
+    fn multihomed_fixture() -> AsGraph {
+        let mut g = AsGraph::new();
+        let p2c = EdgeKind::ProviderToCustomer;
+        // Core chain D - F - H - I - G - E (peers at the top).
+        g.add_edge(Asn(4), Asn(6), EdgeKind::PeerToPeer); // D-F
+        g.add_edge(Asn(6), Asn(8), EdgeKind::CustomerToProvider); // F-H
+        g.add_edge(Asn(8), Asn(9), EdgeKind::PeerToPeer); // H-I
+        g.add_edge(Asn(9), Asn(7), EdgeKind::ProviderToCustomer); // I-G
+        g.add_edge(Asn(7), Asn(5), EdgeKind::PeerToPeer); // G-E
+                                                          // Stubs.
+        g.add_edge(Asn(4), Asn(1), p2c); // D -> A
+        g.add_edge(Asn(5), Asn(3), p2c); // E -> C
+                                         // Multi-homed B under both D and E.
+        g.add_edge(Asn(4), Asn(2), p2c); // D -> B
+        g.add_edge(Asn(5), Asn(2), p2c); // E -> B
+        g
+    }
+
+    #[test]
+    fn phase_automaton_truth_table() {
+        use EdgeKind::*;
+        assert_eq!(Phase::Up.step(CustomerToProvider), Some(Phase::Up));
+        assert_eq!(Phase::Up.step(SiblingToSibling), Some(Phase::Up));
+        assert_eq!(Phase::Up.step(PeerToPeer), Some(Phase::Down));
+        assert_eq!(Phase::Up.step(ProviderToCustomer), Some(Phase::Down));
+        assert_eq!(Phase::Down.step(ProviderToCustomer), Some(Phase::Down));
+        assert_eq!(Phase::Down.step(SiblingToSibling), Some(Phase::Down));
+        assert_eq!(Phase::Down.step(CustomerToProvider), None);
+        assert_eq!(Phase::Down.step(PeerToPeer), None);
+    }
+
+    #[test]
+    fn up_peer_down_is_valley_free() {
+        let g = multihomed_fixture();
+        // A -> D -> F: climb then peer: ok.
+        assert!(is_valley_free(&g, &[Asn(1), Asn(4), Asn(6)]));
+        // A -> D -> B -> E -> C: the multi-homed shortcut is NOT valley-free
+        // (B would transit for its providers)...
+        assert!(!is_valley_free(
+            &g,
+            &[Asn(1), Asn(4), Asn(2), Asn(5), Asn(3)]
+        ));
+        // ...which is exactly why B must act as an *application-layer relay*
+        // (the overlay hop restarts the automaton at B).
+        assert!(is_valley_free(&g, &[Asn(1), Asn(4), Asn(2)]));
+        assert!(is_valley_free(&g, &[Asn(2), Asn(5), Asn(3)]));
+    }
+
+    #[test]
+    fn two_peer_links_are_rejected() {
+        let mut g = AsGraph::new();
+        g.add_edge(Asn(1), Asn(2), EdgeKind::PeerToPeer);
+        g.add_edge(Asn(2), Asn(3), EdgeKind::PeerToPeer);
+        assert!(!is_valley_free(&g, &[Asn(1), Asn(2), Asn(3)]));
+    }
+
+    #[test]
+    fn missing_adjacency_is_not_valley_free() {
+        let g = multihomed_fixture();
+        assert!(!is_valley_free(&g, &[Asn(1), Asn(3)]));
+    }
+
+    #[test]
+    fn trivial_paths_are_valley_free() {
+        let g = multihomed_fixture();
+        assert!(is_valley_free(&g, &[]));
+        assert!(is_valley_free(&g, &[Asn(1)]));
+    }
+
+    #[test]
+    fn bounded_search_respects_hop_limit() {
+        let g = multihomed_fixture();
+        let reached = bounded_search(&g, Asn(1), 1, |_| Expand::Continue);
+        assert_eq!(reached.len(), 1);
+        assert_eq!(
+            reached[0],
+            Reached {
+                asn: Asn(4),
+                hops: 1
+            }
+        );
+    }
+
+    #[test]
+    fn bounded_search_reports_minimal_hops() {
+        let g = multihomed_fixture();
+        let reached = bounded_search(&g, Asn(1), 4, |_| Expand::Continue);
+        let hops_of = |a: u32| reached.iter().find(|r| r.asn == Asn(a)).map(|r| r.hops);
+        assert_eq!(hops_of(4), Some(1)); // D
+        assert_eq!(hops_of(2), Some(2)); // B via D
+        assert_eq!(hops_of(6), Some(2)); // F via D (peer)
+                                         // C is NOT reachable valley-free from A within 4 hops: the only
+                                         // policy-compliant route climbs A-D, peers D-F... but F-H is c2p
+                                         // after a peer link — invalid. The uphill route A-D is peer-limited.
+        assert_eq!(hops_of(3), None);
+    }
+
+    #[test]
+    fn pruning_stops_expansion_but_keeps_node() {
+        let g = multihomed_fixture();
+        // Prune at D: B and F should become unreachable.
+        let reached = bounded_search(&g, Asn(1), 4, |r| {
+            if r.asn == Asn(4) {
+                Expand::Prune
+            } else {
+                Expand::Continue
+            }
+        });
+        assert_eq!(reached.len(), 1);
+        assert_eq!(reached[0].asn, Asn(4));
+    }
+
+    #[test]
+    fn unconstrained_search_supersets_valley_free() {
+        let g = multihomed_fixture();
+        let vf = bounded_search(&g, Asn(1), 4, |_| Expand::Continue);
+        let un = bounded_search_unconstrained(&g, Asn(1), 4, |_| Expand::Continue);
+        assert!(un.len() >= vf.len());
+        for r in &vf {
+            let u = un
+                .iter()
+                .find(|x| x.asn == r.asn)
+                .expect("vf-reachable is plain-reachable");
+            assert!(u.hops <= r.hops);
+        }
+        // C (AS 3) is plain-reachable but not valley-free-reachable.
+        assert!(un.iter().any(|r| r.asn == Asn(3)));
+        assert!(!vf.iter().any(|r| r.asn == Asn(3)));
+    }
+
+    #[test]
+    fn valley_free_hops_basics() {
+        let g = multihomed_fixture();
+        assert_eq!(valley_free_hops(&g, Asn(1), Asn(1), 4), Some(0));
+        assert_eq!(valley_free_hops(&g, Asn(1), Asn(2), 4), Some(2));
+        assert_eq!(valley_free_hops(&g, Asn(1), Asn(3), 6), None);
+        assert_eq!(valley_free_hops(&g, Asn(2), Asn(3), 4), Some(2));
+    }
+
+    #[test]
+    fn search_from_absent_origin_is_empty() {
+        let g = multihomed_fixture();
+        assert!(bounded_search(&g, Asn(999), 4, |_| Expand::Continue).is_empty());
+    }
+
+    #[test]
+    fn uphill_state_preferred_at_equal_hops() {
+        // Diamond where X is reachable at 2 hops both downhill (via P) and
+        // uphill (via Q); continuing past X must still be possible uphill.
+        let mut g = AsGraph::new();
+        let c2p = EdgeKind::CustomerToProvider;
+        g.add_edge(Asn(0), Asn(1), c2p); // origin -> Q (up)
+        g.add_edge(Asn(1), Asn(2), c2p); // Q -> X (up)
+        g.add_edge(Asn(0), Asn(3), EdgeKind::PeerToPeer); // origin - P
+        g.add_edge(Asn(3), Asn(2), EdgeKind::ProviderToCustomer); // P -> X (down)
+        g.add_edge(Asn(2), Asn(4), c2p); // X -> top (only valid uphill)
+        let reached = bounded_search(&g, Asn(0), 3, |_| Expand::Continue);
+        assert!(
+            reached.iter().any(|r| r.asn == Asn(4)),
+            "must keep climbing through X"
+        );
+    }
+}

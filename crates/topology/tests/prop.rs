@@ -1,0 +1,122 @@
+//! Property-based tests for AS-graph invariants, valley-free search, and
+//! BGP policy routing.
+
+use asap_cluster::Asn;
+use asap_topology::routing::BgpRouter;
+use asap_topology::{valley, AsGraph, EdgeKind};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = EdgeKind> {
+    prop_oneof![
+        3 => Just(EdgeKind::ProviderToCustomer),
+        1 => Just(EdgeKind::PeerToPeer),
+        1 => Just(EdgeKind::SiblingToSibling),
+    ]
+}
+
+/// Random annotated graphs over up to 24 ASes.
+fn arb_graph() -> impl Strategy<Value = AsGraph> {
+    proptest::collection::vec((0u32..24, 0u32..24, arb_kind()), 1..80).prop_map(|edges| {
+        let mut g = AsGraph::new();
+        for (a, b, k) in edges {
+            g.add_edge(Asn(a), Asn(b), k);
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn edge_annotations_are_mirrored(g in arb_graph()) {
+        for (a, b, k) in g.edges() {
+            prop_assert_eq!(g.edge_kind(b, a), Some(k.reverse()));
+        }
+    }
+
+    #[test]
+    fn degree_equals_neighbor_count_and_edges_sum(g in arb_graph()) {
+        let total: usize = g.asns().iter().map(|&a| g.degree(a)).sum();
+        prop_assert_eq!(total, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn bounded_search_hops_agree_with_valley_free_hops(g in arb_graph(), k in 1usize..5) {
+        let Some(&origin) = g.asns().first() else { return Ok(()) };
+        let reached = valley::bounded_search(&g, origin, k, |_| valley::Expand::Continue);
+        for r in &reached {
+            prop_assert!(r.hops <= k);
+            prop_assert_eq!(valley::valley_free_hops(&g, origin, r.asn, k), Some(r.hops));
+        }
+        // Completeness: anything with a valley-free distance ≤ k is reached.
+        for &dst in g.asns() {
+            if dst == origin { continue; }
+            if let Some(h) = valley::valley_free_hops(&g, origin, dst, k) {
+                prop_assert!(reached.iter().any(|r| r.asn == dst && r.hops == h),
+                    "{dst} at {h} hops missing from bounded_search");
+            }
+        }
+    }
+
+    #[test]
+    fn policy_routes_are_valley_free_and_loop_free(g in arb_graph()) {
+        let mut router = BgpRouter::new();
+        let asns: Vec<Asn> = g.asns().to_vec();
+        for &d in asns.iter().take(6) {
+            for &s in asns.iter().take(12) {
+                if let Some(path) = router.path(&g, s, d) {
+                    prop_assert!(valley::is_valley_free(&g, &path),
+                        "route {:?} has a valley", path);
+                    let mut sorted = path.clone();
+                    sorted.sort();
+                    sorted.dedup();
+                    prop_assert_eq!(sorted.len(), path.len(), "route has a loop");
+                    prop_assert_eq!(*path.first().unwrap(), s);
+                    prop_assert_eq!(*path.last().unwrap(), d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policy_route_exists_whenever_any_valley_free_path_exists(g in arb_graph()) {
+        // BGP with customer/peer/provider export rules finds a route iff a
+        // valley-free path exists at all (our propagation is complete).
+        let mut router = BgpRouter::new();
+        let asns: Vec<Asn> = g.asns().to_vec();
+        let n = asns.len();
+        for &d in asns.iter().take(4) {
+            for &s in asns.iter().take(8) {
+                let policy = router.path(&g, s, d).is_some();
+                let any = valley::valley_free_hops(&g, s, d, n).is_some();
+                prop_assert_eq!(policy, any, "policy route {} vs valley-free path {} for {}->{}", policy, any, s, d);
+            }
+        }
+    }
+
+    #[test]
+    fn gao_inference_covers_exactly_observed_adjacencies(
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0u32..16, 2..6).prop_map(|v| {
+                let mut seen = std::collections::HashSet::new();
+                v.into_iter().map(Asn).filter(|a| seen.insert(*a)).collect::<Vec<_>>()
+            }),
+            1..20,
+        )
+    ) {
+        let inf = asap_topology::gao::infer(&paths, &Default::default());
+        // Every inferred edge appears on some path, and vice versa.
+        let mut observed = std::collections::HashSet::new();
+        for p in &paths {
+            for w in p.windows(2) {
+                let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                observed.insert(key);
+            }
+        }
+        let inferred: std::collections::HashSet<(Asn, Asn)> = inf
+            .graph
+            .edges()
+            .map(|(a, b, _)| if a <= b { (a, b) } else { (b, a) })
+            .collect();
+        prop_assert_eq!(inferred, observed);
+    }
+}

@@ -1,0 +1,357 @@
+//! Whole-call simulation under a transmission policy.
+
+use asap_core::{AsapConfig, AsapSystem};
+use asap_workload::sessions::Session;
+use asap_workload::Scenario;
+
+use crate::dynamics::{DynamicsConfig, PathDynamics};
+use crate::policy::{combine_diversity, CandidatePath, PathSwitch, Switcher, SwitchingConfig};
+use crate::stream::{StreamConfig, WindowAggregator, WindowStats};
+
+/// How the sender uses the candidate paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Direct path only (no relays even if available).
+    DirectOnly,
+    /// Best setup-time path, never reconsidered.
+    Static,
+    /// Path switching on quality degradation (Tao et al. style).
+    Switching,
+    /// Packet duplication over the two best disjoint paths (Liang et al.
+    /// style).
+    Diversity,
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Policy::DirectOnly => "direct-only",
+            Policy::Static => "static",
+            Policy::Switching => "switching",
+            Policy::Diversity => "diversity",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Call-level configuration.
+#[derive(Debug, Clone)]
+pub struct CallConfig {
+    /// Call duration in milliseconds.
+    pub duration_ms: u64,
+    /// Stream (codec / playout / window) parameters.
+    pub stream: StreamConfig,
+    /// Switching parameters (used by [`Policy::Switching`]).
+    pub switching: SwitchingConfig,
+    /// Maximum candidate relay paths taken from ASAP's selection.
+    pub max_candidates: usize,
+}
+
+impl Default for CallConfig {
+    fn default() -> Self {
+        CallConfig {
+            duration_ms: 180_000,
+            stream: StreamConfig::default(),
+            switching: SwitchingConfig::default(),
+            max_candidates: 4,
+        }
+    }
+}
+
+/// The result of one simulated call.
+#[derive(Debug, Clone)]
+pub struct CallReport {
+    /// The policy that ran.
+    pub policy: Policy,
+    /// Candidate path labels, index-aligned with switch records.
+    pub paths: Vec<String>,
+    /// Per-window delivery and MOS statistics.
+    pub windows: Vec<WindowStats>,
+    /// Mid-call switches (switching policy only).
+    pub switches: Vec<PathSwitch>,
+    /// Mean MOS over all windows.
+    pub mean_mos: f64,
+    /// Worst window MOS.
+    pub min_mos: f64,
+}
+
+/// Builds the candidate path list for a session: the direct path plus up
+/// to `max_candidates` ASAP relay paths (primary surrogates of the best
+/// close clusters).
+pub fn candidate_paths(
+    scenario: &Scenario,
+    system: &AsapSystem<'_>,
+    session: Session,
+    call: &CallConfig,
+    dynamics: &DynamicsConfig,
+) -> Vec<CandidatePath> {
+    let mut paths = Vec::new();
+    if let (Some(rtt), Some(loss)) = (
+        scenario.host_rtt_ms(session.caller, session.callee),
+        scenario.host_loss(session.caller, session.callee),
+    ) {
+        paths.push(CandidatePath {
+            label: "direct".to_owned(),
+            base_one_way_ms: rtt / 2.0,
+            base_loss: loss,
+            dynamics: PathDynamics::sample(&[], call.duration_ms, dynamics),
+        });
+    }
+    // Run select-close-relay() unconditionally: even when the direct path
+    // is currently fine, the standby relays are what switching and
+    // diversity need when it degrades mid-call.
+    let caller_set = system.close_set_of(scenario.population.cluster_of(session.caller));
+    let callee_set = system.close_set_of(scenario.population.cluster_of(session.callee));
+    let clustering = scenario.population.clustering();
+    let selection = asap_core::select::select_close_relay(
+        &caller_set,
+        &callee_set,
+        system.config(),
+        &|c| clustering.cluster(c).len() as u64,
+        &mut |c| (*system.close_set_of(c)).clone(),
+    );
+    {
+        let selection = &selection;
+        for r in selection.one_hop.iter().take(call.max_candidates) {
+            let relay = system.surrogate_of(r.cluster);
+            if relay == session.caller || relay == session.callee {
+                continue;
+            }
+            let (Some(rtt), Some(loss)) = (
+                scenario.one_hop_rtt_ms(session.caller, relay, session.callee),
+                scenario.one_hop_loss(session.caller, relay, session.callee),
+            ) else {
+                continue;
+            };
+            paths.push(CandidatePath {
+                label: format!("via {relay}"),
+                base_one_way_ms: rtt / 2.0,
+                base_loss: loss,
+                dynamics: PathDynamics::sample(&[relay], call.duration_ms, dynamics),
+            });
+        }
+    }
+    paths
+}
+
+/// Runs one call under `policy`. Boots a fresh ASAP system internally;
+/// use [`simulate_with_paths`] to reuse a system or to control the path
+/// set explicitly.
+pub fn simulate(
+    scenario: &Scenario,
+    session: Session,
+    policy: Policy,
+    call: &CallConfig,
+    dynamics: &DynamicsConfig,
+) -> CallReport {
+    let system = AsapSystem::bootstrap(scenario, AsapConfig::default());
+    let paths = candidate_paths(scenario, &system, session, call, dynamics);
+    simulate_with_paths(paths, policy, call)
+}
+
+/// Runs one call under `policy` over an explicit candidate path list
+/// (index 0 must be the direct path when present).
+///
+/// # Panics
+///
+/// Panics if `paths` is empty.
+pub fn simulate_with_paths(
+    paths: Vec<CandidatePath>,
+    policy: Policy,
+    call: &CallConfig,
+) -> CallReport {
+    assert!(
+        !paths.is_empty(),
+        "a call needs at least one candidate path"
+    );
+    let labels: Vec<String> = paths.iter().map(|p| p.label.clone()).collect();
+
+    // Setup-time ranking by base quality (delay + a loss penalty).
+    let score = |p: &CandidatePath| p.base_one_way_ms + 500.0 * p.base_loss;
+    let mut order: Vec<usize> = (0..paths.len()).collect();
+    order.sort_by(|&a, &b| score(&paths[a]).total_cmp(&score(&paths[b])));
+
+    let initial = match policy {
+        Policy::DirectOnly => 0,
+        _ => order[0],
+    };
+    let second = order.iter().copied().find(|&i| i != initial);
+
+    let mut aggregator = WindowAggregator::new(call.stream.clone());
+    let mut switcher = Switcher::new(initial, call.switching.clone());
+    let packet_interval = call.stream.packet_interval_ms.max(1);
+    let packets = call.duration_ms / packet_interval;
+
+    for seq in 0..packets {
+        let send_ms = seq * packet_interval;
+        let fate = match policy {
+            Policy::DirectOnly => paths[0].fate(seq, send_ms, &call.stream),
+            Policy::Static => paths[initial].fate(seq, send_ms, &call.stream),
+            Policy::Switching => {
+                let active = switcher.active();
+                let fate = paths[active].fate(seq, send_ms, &call.stream);
+                switcher.observe(send_ms, fate, paths.len(), |p, at| {
+                    // Standby probe: the sender samples the standby's
+                    // current episode loss plus base loss.
+                    let (_, extra_loss) = paths[p].dynamics.condition_at(at);
+                    (paths[p].base_loss + extra_loss).min(1.0)
+                });
+                fate
+            }
+            Policy::Diversity => {
+                let a = paths[initial].fate(seq, send_ms, &call.stream);
+                match second {
+                    Some(s) => combine_diversity(a, paths[s].fate(seq, send_ms, &call.stream)),
+                    None => a,
+                }
+            }
+        };
+        aggregator.record(send_ms, fate);
+    }
+
+    let windows = aggregator.finish();
+    let mean_mos = windows.iter().map(|w| w.mos).sum::<f64>() / windows.len().max(1) as f64;
+    let min_mos = windows.iter().map(|w| w.mos).fold(f64::INFINITY, f64::min);
+    CallReport {
+        policy,
+        paths: labels,
+        switches: switcher.switches().to_vec(),
+        windows,
+        mean_mos,
+        min_mos: if min_mos.is_finite() { min_mos } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::PathDynamics;
+
+    fn path(
+        label: &str,
+        one_way: f64,
+        loss: f64,
+        episodes_per_minute: f64,
+        seed: u64,
+    ) -> CandidatePath {
+        CandidatePath {
+            label: label.to_owned(),
+            base_one_way_ms: one_way,
+            base_loss: loss,
+            dynamics: PathDynamics::sample(
+                &[asap_workload::HostId(seed as u32)],
+                180_000,
+                &DynamicsConfig {
+                    episodes_per_minute,
+                    seed,
+                    ..Default::default()
+                },
+            ),
+        }
+    }
+
+    #[test]
+    fn static_policy_picks_best_setup_path() {
+        let paths = vec![
+            path("direct", 200.0, 0.02, 0.0, 1),
+            path("relay", 60.0, 0.005, 0.0, 2),
+        ];
+        let report = simulate_with_paths(paths, Policy::Static, &CallConfig::default());
+        // Mean one-way ≈ 60 ms: healthy MOS throughout.
+        assert!(report.mean_mos > 3.8, "mean MOS {}", report.mean_mos);
+        assert!(report.switches.is_empty());
+    }
+
+    #[test]
+    fn direct_only_ignores_better_relays() {
+        let paths = vec![
+            path("direct", 230.0, 0.03, 0.0, 1),
+            path("relay", 60.0, 0.005, 0.0, 2),
+        ];
+        let direct = simulate_with_paths(paths.clone(), Policy::DirectOnly, &CallConfig::default());
+        let relay = simulate_with_paths(paths, Policy::Static, &CallConfig::default());
+        assert!(relay.mean_mos > direct.mean_mos + 0.3);
+    }
+
+    #[test]
+    fn switching_beats_static_under_midcall_congestion() {
+        // The initially-best path suffers heavy episodes; a clean standby
+        // exists. Averages over several seeds to avoid episode luck.
+        let mut static_sum = 0.0;
+        let mut switching_sum = 0.0;
+        for seed in 0..6u64 {
+            let mk = || {
+                vec![
+                    CandidatePath {
+                        label: "flappy".into(),
+                        base_one_way_ms: 50.0,
+                        base_loss: 0.005,
+                        dynamics: PathDynamics::sample(
+                            &[asap_workload::HostId(1)],
+                            180_000,
+                            &DynamicsConfig {
+                                episodes_per_minute: 4.0,
+                                added_loss: (0.3, 0.6),
+                                episode_ms: (10_000, 30_000),
+                                seed,
+                                ..Default::default()
+                            },
+                        ),
+                    },
+                    path("stable", 80.0, 0.005, 0.0, 100 + seed),
+                ]
+            };
+            let st = simulate_with_paths(mk(), Policy::Static, &CallConfig::default());
+            let sw = simulate_with_paths(mk(), Policy::Switching, &CallConfig::default());
+            static_sum += st.min_mos;
+            switching_sum += sw.min_mos;
+        }
+        assert!(
+            switching_sum > static_sum + 0.5,
+            "switching min-MOS sum {switching_sum:.2} vs static {static_sum:.2}"
+        );
+    }
+
+    #[test]
+    fn diversity_masks_uncorrelated_loss() {
+        let mk = |policy| {
+            let paths = vec![
+                path("a", 60.0, 0.10, 0.0, 11),
+                path("b", 70.0, 0.10, 0.0, 12),
+            ];
+            simulate_with_paths(paths, policy, &CallConfig::default())
+        };
+        let single = mk(Policy::Static);
+        let dual = mk(Policy::Diversity);
+        // 10% + 10% independent → ~1% joint loss.
+        let single_loss: f64 = single
+            .windows
+            .iter()
+            .map(|w| w.effective_loss())
+            .sum::<f64>()
+            / single.windows.len() as f64;
+        let dual_loss: f64 = dual.windows.iter().map(|w| w.effective_loss()).sum::<f64>()
+            / dual.windows.len() as f64;
+        assert!(
+            (0.07..0.13).contains(&single_loss),
+            "single loss {single_loss}"
+        );
+        assert!(dual_loss < 0.03, "dual loss {dual_loss}");
+        assert!(dual.mean_mos > single.mean_mos);
+    }
+
+    #[test]
+    fn report_aggregates_are_consistent() {
+        let paths = vec![path("only", 100.0, 0.01, 1.0, 5)];
+        let report = simulate_with_paths(paths, Policy::Static, &CallConfig::default());
+        assert!(report.min_mos <= report.mean_mos);
+        assert_eq!(report.paths, vec!["only".to_owned()]);
+        assert!(!report.windows.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate path")]
+    fn empty_path_list_panics() {
+        simulate_with_paths(Vec::new(), Policy::Static, &CallConfig::default());
+    }
+}

@@ -1,0 +1,223 @@
+//! Mid-call network dynamics.
+//!
+//! A relay path that measured well at call setup does not stay that way:
+//! the paper observes Skype still probing relays minutes into a call
+//! because "the network condition still changes dynamically after the
+//! stabilization time". This module models that as per-path *episodes*:
+//! intervals during which a path carries extra delay and loss, derived
+//! deterministically from a seed so call simulations are reproducible.
+
+use asap_workload::HostId;
+
+/// Configuration of mid-call dynamics.
+#[derive(Debug, Clone)]
+pub struct DynamicsConfig {
+    /// Expected number of congestion episodes per path per minute.
+    pub episodes_per_minute: f64,
+    /// Episode duration range in milliseconds.
+    pub episode_ms: (u64, u64),
+    /// Extra one-way delay during an episode, in milliseconds.
+    pub added_delay_ms: (f64, f64),
+    /// Extra loss probability during an episode.
+    pub added_loss: (f64, f64),
+    /// Per-packet jitter half-width in milliseconds (always on).
+    pub jitter_ms: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        DynamicsConfig {
+            episodes_per_minute: 0.8,
+            episode_ms: (3_000, 20_000),
+            added_delay_ms: (20.0, 150.0),
+            added_loss: (0.01, 0.15),
+            jitter_ms: 6.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One congestion episode on a path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Episode {
+    /// Start time within the call, milliseconds.
+    pub start_ms: u64,
+    /// End time within the call, milliseconds.
+    pub end_ms: u64,
+    /// Extra one-way delay while active.
+    pub added_delay_ms: f64,
+    /// Extra loss probability while active.
+    pub added_loss: f64,
+}
+
+/// The dynamic state of one transmission path over a call.
+///
+/// Identified by its relay chain so that the same path gets the same
+/// episodes in every policy being compared — differences between policies
+/// then come from the policy, not from luck.
+#[derive(Debug, Clone)]
+pub struct PathDynamics {
+    episodes: Vec<Episode>,
+    jitter_ms: f64,
+    seed: u64,
+    path_key: u64,
+}
+
+impl PathDynamics {
+    /// Samples the episode timeline for the path identified by `relays`
+    /// (empty = direct) over a call of `duration_ms`.
+    pub fn sample(relays: &[HostId], duration_ms: u64, config: &DynamicsConfig) -> Self {
+        let path_key = relays.iter().fold(0xD1CE_u64, |acc, r| {
+            acc.rotate_left(17) ^ (r.0 as u64).wrapping_mul(0x9E37_79B9)
+        });
+        let minutes = duration_ms as f64 / 60_000.0;
+        let expected = config.episodes_per_minute * minutes;
+        let mut episodes = Vec::new();
+        let n = {
+            let u = unit(mix(config.seed, path_key, 0));
+            // Rounded Poisson-ish: floor(expected) plus a fractional coin.
+            expected.floor() as usize + usize::from(u < expected.fract())
+        };
+        for i in 0..n {
+            let h = mix(config.seed, path_key, 1 + i as u64);
+            let start = (unit(h) * duration_ms as f64) as u64;
+            let (dlo, dhi) = config.episode_ms;
+            let len = dlo + (unit(mix(h, 1, 2)) * (dhi - dlo) as f64) as u64;
+            let (alo, ahi) = config.added_delay_ms;
+            let (llo, lhi) = config.added_loss;
+            episodes.push(Episode {
+                start_ms: start,
+                end_ms: (start + len).min(duration_ms),
+                added_delay_ms: alo + unit(mix(h, 3, 4)) * (ahi - alo),
+                added_loss: llo + unit(mix(h, 5, 6)) * (lhi - llo),
+            });
+        }
+        episodes.sort_by_key(|e| e.start_ms);
+        PathDynamics {
+            episodes,
+            jitter_ms: config.jitter_ms,
+            seed: config.seed,
+            path_key,
+        }
+    }
+
+    /// The sampled episodes.
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// Extra (one-way delay, loss) at time `t_ms` into the call.
+    pub fn condition_at(&self, t_ms: u64) -> (f64, f64) {
+        let mut delay = 0.0;
+        let mut loss = 0.0;
+        for e in &self.episodes {
+            if e.start_ms <= t_ms && t_ms < e.end_ms {
+                delay += e.added_delay_ms;
+                loss += e.added_loss;
+            }
+        }
+        (delay, loss.min(1.0))
+    }
+
+    /// Deterministic per-packet jitter in `[-jitter, +jitter]` ms for the
+    /// packet with sequence number `seq`.
+    pub fn packet_jitter_ms(&self, seq: u64) -> f64 {
+        self.jitter_ms * (2.0 * unit(mix(self.seed ^ 0x1177, self.path_key, seq)) - 1.0)
+    }
+
+    /// Deterministic uniform draw in [0, 1) deciding the loss fate of
+    /// packet `seq`.
+    pub fn packet_loss_draw(&self, seq: u64) -> f64 {
+        unit(mix(self.seed ^ 0x10_55, self.path_key, seq))
+    }
+}
+
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(25) ^ c.rotate_left(47) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dynamics(relays: &[HostId]) -> PathDynamics {
+        PathDynamics::sample(
+            relays,
+            300_000,
+            &DynamicsConfig {
+                episodes_per_minute: 2.0,
+                seed: 9,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_path() {
+        let a = dynamics(&[HostId(5)]);
+        let b = dynamics(&[HostId(5)]);
+        assert_eq!(a.episodes(), b.episodes());
+        let c = dynamics(&[HostId(6)]);
+        assert_ne!(a.episodes(), c.episodes());
+    }
+
+    #[test]
+    fn episodes_fit_the_call() {
+        let d = dynamics(&[HostId(1), HostId(2)]);
+        assert!(!d.episodes().is_empty());
+        for e in d.episodes() {
+            assert!(e.start_ms <= e.end_ms);
+            assert!(e.end_ms <= 300_000);
+            assert!(e.added_delay_ms >= 20.0 && e.added_delay_ms <= 150.0);
+        }
+    }
+
+    #[test]
+    fn condition_reflects_active_episode() {
+        let d = dynamics(&[HostId(7)]);
+        let e = d.episodes()[0];
+        if e.start_ms < e.end_ms {
+            let (delay, loss) = d.condition_at((e.start_ms + e.end_ms) / 2);
+            assert!(delay >= e.added_delay_ms - 1e-9);
+            assert!(loss >= e.added_loss - 1e-9);
+        }
+        // Far outside all episodes (time beyond call end) is clean.
+        let (delay, loss) = d.condition_at(u64::MAX);
+        assert_eq!((delay, loss), (0.0, 0.0));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_varies() {
+        let d = dynamics(&[]);
+        let mut distinct = std::collections::HashSet::new();
+        for seq in 0..200 {
+            let j = d.packet_jitter_ms(seq);
+            assert!(j.abs() <= 6.0 + 1e-9);
+            distinct.insert((j * 1000.0) as i64);
+        }
+        assert!(distinct.len() > 50, "jitter looks constant");
+    }
+
+    #[test]
+    fn zero_rate_produces_no_episodes() {
+        let d = PathDynamics::sample(
+            &[HostId(1)],
+            60_000,
+            &DynamicsConfig {
+                episodes_per_minute: 0.0,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert!(d.episodes().is_empty());
+    }
+}

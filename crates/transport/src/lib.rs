@@ -1,0 +1,48 @@
+//! Packet-level voice transport over relay paths.
+//!
+//! The ASAP paper closes its protocol section by noting that "techniques
+//! such as path diversity (\[15, 19\]) and path switching \[20\] can be used
+//! in combination with ASAP to transmit voice packets" (§6.2) — ASAP
+//! *finds* the relay paths; this crate is the transmission layer the
+//! paper points to:
+//!
+//! * [`dynamics`] — mid-call network dynamics: transient congestion
+//!   episodes per path, on top of the scenario's base latency/loss
+//!   (Fig. 7(c)'s observation that "the network condition still changes
+//!   dynamically after the stabilization time").
+//! * [`stream`] — a packet-level simulation of one voice stream: codec
+//!   packetization, per-packet delay/loss, a playout buffer that turns
+//!   late packets into erasures, and windowed E-model MOS.
+//! * [`policy`] — transmission policies over the candidate paths ASAP
+//!   returns: single static path, **path switching** (Tao et al.,
+//!   INFOCOM'05 style: monitor and switch on degradation), and **path
+//!   diversity** (Liang et al., ACM MM'01 style: duplicate packets over
+//!   two paths, play the first arrival).
+//! * [`call`] — the orchestration that runs a whole call under one policy
+//!   and reports per-window quality.
+//!
+//! # Example
+//!
+//! ```
+//! use asap_transport::{call::{simulate, CallConfig, Policy}, dynamics::DynamicsConfig};
+//! use asap_workload::{sessions, Scenario, ScenarioConfig};
+//!
+//! let scenario = Scenario::build(ScenarioConfig::tiny(), 3);
+//! let session = sessions::generate(&scenario.population, 1, 1)[0];
+//! let report = simulate(
+//!     &scenario,
+//!     session,
+//!     Policy::Static,
+//!     &CallConfig { duration_ms: 30_000, ..CallConfig::default() },
+//!     &DynamicsConfig::default(),
+//! );
+//! assert!(!report.windows.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod call;
+pub mod dynamics;
+pub mod policy;
+pub mod stream;

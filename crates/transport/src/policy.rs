@@ -1,0 +1,254 @@
+//! Transmission policies over a set of candidate paths.
+//!
+//! ASAP hands the caller several quality relay paths; what to do with
+//! them during the call is a policy choice the paper delegates to the
+//! literature it cites:
+//!
+//! * **Static** — stick to the best path chosen at setup.
+//! * **Switching** (Tao, Xu, Estepa, Fei, Gao, Guerin, Kurose, Towsley,
+//!   Zhang — "Improving VoIP quality through path switching",
+//!   INFOCOM'05): monitor the active path with receiver feedback and
+//!   switch to a standby when quality degrades.
+//! * **Diversity** (Liang, Steinbach, Girod — "Real-time voice
+//!   communication over the internet using packet path diversity", ACM
+//!   MM'01): duplicate every packet over two paths and play the first
+//!   copy that arrives.
+
+use crate::dynamics::PathDynamics;
+use crate::stream::{packet_fate, PacketFate, StreamConfig};
+
+/// A candidate transmission path with its setup-time base quality.
+#[derive(Debug, Clone)]
+pub struct CandidatePath {
+    /// Human-readable identity (relay chain) used for reporting.
+    pub label: String,
+    /// Base one-way network delay, ms (RTT/2 at setup).
+    pub base_one_way_ms: f64,
+    /// Base loss probability at setup.
+    pub base_loss: f64,
+    /// The path's mid-call dynamics.
+    pub dynamics: PathDynamics,
+}
+
+impl CandidatePath {
+    /// The fate of packet `seq` sent at `send_ms` over this path.
+    pub fn fate(&self, seq: u64, send_ms: u64, config: &StreamConfig) -> PacketFate {
+        packet_fate(
+            seq,
+            send_ms,
+            self.base_one_way_ms,
+            self.base_loss,
+            &self.dynamics,
+            config,
+        )
+    }
+}
+
+/// Parameters of the switching monitor.
+#[derive(Debug, Clone)]
+pub struct SwitchingConfig {
+    /// Feedback (RTCP-like) interval in milliseconds.
+    pub feedback_interval_ms: u64,
+    /// Effective loss over the last feedback interval that triggers a
+    /// switch attempt.
+    pub loss_threshold: f64,
+    /// Minimum dwell time on a path before switching again, ms.
+    pub min_dwell_ms: u64,
+}
+
+impl Default for SwitchingConfig {
+    fn default() -> Self {
+        SwitchingConfig {
+            feedback_interval_ms: 2_000,
+            loss_threshold: 0.08,
+            min_dwell_ms: 4_000,
+        }
+    }
+}
+
+/// A record of one mid-call path switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSwitch {
+    /// When the switch happened, ms into the call.
+    pub at_ms: u64,
+    /// Index of the path switched to.
+    pub to_path: usize,
+}
+
+/// The path-switching transmitter: sends on one active path, watches
+/// interval loss, and fails over to the standby that currently measures
+/// best.
+#[derive(Debug)]
+pub struct Switcher {
+    config: SwitchingConfig,
+    active: usize,
+    last_switch_ms: u64,
+    interval_sent: u32,
+    interval_bad: u32,
+    interval_start: u64,
+    switches: Vec<PathSwitch>,
+}
+
+impl Switcher {
+    /// Starts on path `initial`.
+    pub fn new(initial: usize, config: SwitchingConfig) -> Self {
+        Switcher {
+            config,
+            active: initial,
+            last_switch_ms: 0,
+            interval_sent: 0,
+            interval_bad: 0,
+            interval_start: 0,
+            switches: Vec::new(),
+        }
+    }
+
+    /// The currently active path index.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// All switches so far.
+    pub fn switches(&self) -> &[PathSwitch] {
+        &self.switches
+    }
+
+    /// Observes the fate of a packet on the active path and, at feedback
+    /// boundaries, decides whether to switch. `probe` estimates the
+    /// current effective loss of a standby path (the sender keeps lightly
+    /// probing standbys).
+    pub fn observe(
+        &mut self,
+        send_ms: u64,
+        fate: PacketFate,
+        path_count: usize,
+        mut probe: impl FnMut(usize, u64) -> f64,
+    ) {
+        self.interval_sent += 1;
+        if !matches!(fate, PacketFate::Delivered(_)) {
+            self.interval_bad += 1;
+        }
+        if send_ms < self.interval_start + self.config.feedback_interval_ms {
+            return;
+        }
+        let loss = self.interval_bad as f64 / self.interval_sent.max(1) as f64;
+        self.interval_start = send_ms;
+        self.interval_sent = 0;
+        self.interval_bad = 0;
+        let dwelling =
+            !self.switches.is_empty() && send_ms < self.last_switch_ms + self.config.min_dwell_ms;
+        if loss < self.config.loss_threshold || dwelling {
+            return;
+        }
+        // Pick the standby with the lowest probed loss; switch if it is
+        // meaningfully better than what we just suffered.
+        let mut best = self.active;
+        let mut best_loss = loss;
+        for p in 0..path_count {
+            if p == self.active {
+                continue;
+            }
+            let standby_loss = probe(p, send_ms);
+            if standby_loss < best_loss {
+                best = p;
+                best_loss = standby_loss;
+            }
+        }
+        if best != self.active && best_loss + 0.02 < loss {
+            self.active = best;
+            self.last_switch_ms = send_ms;
+            self.switches.push(PathSwitch {
+                at_ms: send_ms,
+                to_path: best,
+            });
+        }
+    }
+}
+
+/// Combines the fates of the two copies of a packet sent over two paths
+/// (path diversity): the receiver plays whichever usable copy arrives
+/// first.
+pub fn combine_diversity(a: PacketFate, b: PacketFate) -> PacketFate {
+    match (a, b) {
+        (PacketFate::Delivered(x), PacketFate::Delivered(y)) => PacketFate::Delivered(x.min(y)),
+        (PacketFate::Delivered(x), _) | (_, PacketFate::Delivered(x)) => PacketFate::Delivered(x),
+        (PacketFate::Late(x), PacketFate::Late(y)) => PacketFate::Late(x.min(y)),
+        (PacketFate::Late(x), _) | (_, PacketFate::Late(x)) => PacketFate::Late(x),
+        (PacketFate::Lost, PacketFate::Lost) => PacketFate::Lost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diversity_takes_first_usable_copy() {
+        use PacketFate::*;
+        assert_eq!(
+            combine_diversity(Delivered(40.0), Delivered(60.0)),
+            Delivered(40.0)
+        );
+        assert_eq!(combine_diversity(Lost, Delivered(80.0)), Delivered(80.0));
+        assert_eq!(
+            combine_diversity(Late(200.0), Delivered(80.0)),
+            Delivered(80.0)
+        );
+        assert_eq!(combine_diversity(Late(200.0), Late(150.0)), Late(150.0));
+        assert_eq!(combine_diversity(Lost, Lost), Lost);
+    }
+
+    #[test]
+    fn switcher_fails_over_on_sustained_loss() {
+        let mut sw = Switcher::new(0, SwitchingConfig::default());
+        // 3 seconds of pure loss on path 0, standby path 1 is clean.
+        for seq in 0..150u64 {
+            sw.observe(seq * 20, PacketFate::Lost, 2, |_, _| 0.0);
+        }
+        assert_eq!(sw.active(), 1);
+        assert_eq!(sw.switches().len(), 1);
+    }
+
+    #[test]
+    fn switcher_stays_on_healthy_path() {
+        let mut sw = Switcher::new(0, SwitchingConfig::default());
+        for seq in 0..500u64 {
+            sw.observe(seq * 20, PacketFate::Delivered(50.0), 3, |_, _| 0.0);
+        }
+        assert!(sw.switches().is_empty());
+    }
+
+    #[test]
+    fn switcher_respects_dwell_time() {
+        let cfg = SwitchingConfig {
+            min_dwell_ms: 60_000,
+            ..Default::default()
+        };
+        let mut sw = Switcher::new(0, cfg);
+        // Everything is terrible everywhere; after the first switch the
+        // dwell timer must suppress further flapping within the minute.
+        for seq in 0..1_000u64 {
+            sw.observe(seq * 20, PacketFate::Lost, 3, |_, _| 0.0);
+        }
+        assert!(
+            sw.switches().len() <= 1,
+            "switched {} times",
+            sw.switches().len()
+        );
+    }
+
+    #[test]
+    fn switcher_prefers_best_standby() {
+        let mut sw = Switcher::new(0, SwitchingConfig::default());
+        for seq in 0..200u64 {
+            sw.observe(seq * 20, PacketFate::Lost, 3, |p, _| {
+                if p == 2 {
+                    0.01
+                } else {
+                    0.5
+                }
+            });
+        }
+        assert_eq!(sw.active(), 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Packet-level voice stream simulation.
+//!
+//! One voice stream = a sequence of RTP packets (codec frames), each
+//! subject to the path's one-way delay, per-packet jitter, and loss. The
+//! receiver's playout buffer converts excessive jitter into erasures:
+//! a packet arriving after its playout deadline is as good as lost. Per
+//! window (a few seconds), delivery statistics become an E-model MOS.
+
+use asap_voip::emodel::EModel;
+use asap_voip::Codec;
+
+use crate::dynamics::PathDynamics;
+
+/// Packetization and playout parameters of a stream.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// The speech codec.
+    pub codec: Codec,
+    /// Packet interval in milliseconds (codec frames per packet × frame
+    /// duration).
+    pub packet_interval_ms: u64,
+    /// Playout buffer depth in milliseconds: a packet is played
+    /// `one_way + playout` after capture; arriving later means erased.
+    pub playout_ms: f64,
+    /// Statistics window length in milliseconds.
+    pub window_ms: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            codec: Codec::G729aVad,
+            packet_interval_ms: 20,
+            playout_ms: 60.0,
+            window_ms: 5_000,
+        }
+    }
+}
+
+/// Delivery statistics of one window of a stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Window start time within the call, ms.
+    pub start_ms: u64,
+    /// Packets sent in the window.
+    pub sent: u32,
+    /// Packets lost in the network.
+    pub lost: u32,
+    /// Packets that arrived after their playout deadline.
+    pub late: u32,
+    /// Mean one-way network delay of delivered packets, ms.
+    pub mean_delay_ms: f64,
+    /// E-model MOS for the window (delay = mean one-way + playout;
+    /// loss = lost + late).
+    pub mos: f64,
+}
+
+impl WindowStats {
+    /// Effective loss fraction (network loss + late erasures).
+    pub fn effective_loss(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            (self.lost + self.late) as f64 / self.sent as f64
+        }
+    }
+}
+
+/// The fate of one transmitted packet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PacketFate {
+    /// Delivered in time, with its one-way network delay.
+    Delivered(f64),
+    /// Lost in the network.
+    Lost,
+    /// Arrived after the playout deadline.
+    Late(f64),
+}
+
+/// Computes the fate of packet `seq` sent at `send_ms` over a path whose
+/// base quality is `(base_one_way_ms, base_loss)` plus `dynamics`.
+pub fn packet_fate(
+    seq: u64,
+    send_ms: u64,
+    base_one_way_ms: f64,
+    base_loss: f64,
+    dynamics: &PathDynamics,
+    config: &StreamConfig,
+) -> PacketFate {
+    let (extra_delay, extra_loss) = dynamics.condition_at(send_ms);
+    let loss = (base_loss + extra_loss).min(1.0);
+    if dynamics.packet_loss_draw(seq) < loss {
+        return PacketFate::Lost;
+    }
+    let delay = (base_one_way_ms + extra_delay + dynamics.packet_jitter_ms(seq)).max(0.0);
+    if delay > base_one_way_ms + config.playout_ms {
+        PacketFate::Late(delay)
+    } else {
+        PacketFate::Delivered(delay)
+    }
+}
+
+/// Aggregates packet fates into per-window statistics with MOS.
+#[derive(Debug)]
+pub struct WindowAggregator {
+    config: StreamConfig,
+    model: EModel,
+    current_start: u64,
+    sent: u32,
+    lost: u32,
+    late: u32,
+    delay_sum: f64,
+    delivered: u32,
+    windows: Vec<WindowStats>,
+}
+
+impl WindowAggregator {
+    /// Creates an aggregator for the given stream configuration.
+    pub fn new(config: StreamConfig) -> Self {
+        let model = EModel::new(config.codec);
+        WindowAggregator {
+            config,
+            model,
+            current_start: 0,
+            sent: 0,
+            lost: 0,
+            late: 0,
+            delay_sum: 0.0,
+            delivered: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Records one packet's fate at its send time.
+    pub fn record(&mut self, send_ms: u64, fate: PacketFate) {
+        while send_ms >= self.current_start + self.config.window_ms {
+            self.flush();
+        }
+        self.sent += 1;
+        match fate {
+            PacketFate::Delivered(d) => {
+                self.delivered += 1;
+                self.delay_sum += d;
+            }
+            PacketFate::Lost => self.lost += 1,
+            PacketFate::Late(_) => self.late += 1,
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.sent > 0 {
+            let mean_delay = if self.delivered > 0 {
+                self.delay_sum / self.delivered as f64
+            } else {
+                0.0
+            };
+            let loss = (self.lost + self.late) as f64 / self.sent as f64;
+            let mos = self.model.mos(mean_delay + self.config.playout_ms, loss);
+            self.windows.push(WindowStats {
+                start_ms: self.current_start,
+                sent: self.sent,
+                lost: self.lost,
+                late: self.late,
+                mean_delay_ms: mean_delay,
+                mos,
+            });
+        }
+        self.current_start += self.config.window_ms;
+        self.sent = 0;
+        self.lost = 0;
+        self.late = 0;
+        self.delay_sum = 0.0;
+        self.delivered = 0;
+    }
+
+    /// Finishes the stream and returns all windows.
+    pub fn finish(mut self) -> Vec<WindowStats> {
+        self.flush();
+        self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::{DynamicsConfig, PathDynamics};
+
+    fn quiet_dynamics() -> PathDynamics {
+        PathDynamics::sample(
+            &[],
+            60_000,
+            &DynamicsConfig {
+                episodes_per_minute: 0.0,
+                jitter_ms: 0.0,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn clean_path_delivers_everything() {
+        let d = quiet_dynamics();
+        let cfg = StreamConfig::default();
+        for seq in 0..100 {
+            let fate = packet_fate(seq, seq * 20, 50.0, 0.0, &d, &cfg);
+            assert_eq!(fate, PacketFate::Delivered(50.0));
+        }
+    }
+
+    #[test]
+    fn full_loss_kills_everything() {
+        let d = quiet_dynamics();
+        let cfg = StreamConfig::default();
+        for seq in 0..50 {
+            assert_eq!(
+                packet_fate(seq, seq * 20, 50.0, 1.0, &d, &cfg),
+                PacketFate::Lost
+            );
+        }
+    }
+
+    #[test]
+    fn episode_loss_rate_is_respected() {
+        let d = PathDynamics::sample(
+            &[],
+            60_000,
+            &DynamicsConfig {
+                episodes_per_minute: 0.0,
+                jitter_ms: 0.0,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        let cfg = StreamConfig::default();
+        let lost = (0..2_000)
+            .filter(|&seq| packet_fate(seq, seq * 20, 50.0, 0.3, &d, &cfg) == PacketFate::Lost)
+            .count();
+        let rate = lost as f64 / 2_000.0;
+        assert!((0.25..0.35).contains(&rate), "loss rate {rate}");
+    }
+
+    #[test]
+    fn excessive_jitter_goes_late() {
+        let d = PathDynamics::sample(
+            &[],
+            60_000,
+            &DynamicsConfig {
+                episodes_per_minute: 0.0,
+                jitter_ms: 0.0,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        // A 100 ms episode delay with a 60 ms playout budget → late.
+        let d_with_episode = PathDynamics::sample(
+            &[],
+            60_000,
+            &DynamicsConfig {
+                episodes_per_minute: 60.0, // effectively always in an episode
+                episode_ms: (60_000, 60_000),
+                added_delay_ms: (100.0, 100.0),
+                added_loss: (0.0, 0.0),
+                jitter_ms: 0.0,
+                seed: 4,
+            },
+        );
+        let cfg = StreamConfig::default();
+        assert!(matches!(
+            packet_fate(0, 0, 50.0, 0.0, &d, &cfg),
+            PacketFate::Delivered(_)
+        ));
+        // Find a time inside an episode.
+        let inside = d_with_episode.episodes()[0].start_ms;
+        assert!(matches!(
+            packet_fate(0, inside, 50.0, 0.0, &d_with_episode, &cfg),
+            PacketFate::Late(_)
+        ));
+    }
+
+    #[test]
+    fn aggregator_windows_and_mos() {
+        let cfg = StreamConfig {
+            window_ms: 1_000,
+            ..Default::default()
+        };
+        let mut agg = WindowAggregator::new(cfg);
+        // 2 s of clean 50 ms packets, then 1 s of pure loss.
+        for seq in 0..100u64 {
+            agg.record(seq * 20, PacketFate::Delivered(50.0));
+        }
+        for seq in 100..150u64 {
+            agg.record(seq * 20, PacketFate::Lost);
+        }
+        let windows = agg.finish();
+        assert_eq!(windows.len(), 3);
+        assert!(windows[0].mos > 3.9);
+        assert_eq!(windows[2].effective_loss(), 1.0);
+        assert!(windows[2].mos < 1.5);
+        assert!(windows[0].mos > windows[2].mos);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let mut agg = WindowAggregator::new(StreamConfig {
+            window_ms: 1_000,
+            ..Default::default()
+        });
+        agg.record(0, PacketFate::Delivered(10.0));
+        agg.record(5_000, PacketFate::Delivered(10.0)); // gap of silent windows
+        let windows = agg.finish();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].start_ms, 0);
+        assert_eq!(windows[1].start_ms, 5_000);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for packet transport combinators.
+
+use asap_transport::dynamics::{DynamicsConfig, PathDynamics};
+use asap_transport::policy::combine_diversity;
+use asap_transport::stream::{packet_fate, PacketFate, StreamConfig, WindowAggregator};
+use asap_workload::HostId;
+use proptest::prelude::*;
+
+fn arb_fate() -> impl Strategy<Value = PacketFate> {
+    prop_oneof![
+        (1.0f64..400.0).prop_map(PacketFate::Delivered),
+        Just(PacketFate::Lost),
+        (100.0f64..500.0).prop_map(PacketFate::Late),
+    ]
+}
+
+/// Rank of a fate for "never worse" comparisons: delivered < late < lost.
+fn rank(f: PacketFate) -> u8 {
+    match f {
+        PacketFate::Delivered(_) => 0,
+        PacketFate::Late(_) => 1,
+        PacketFate::Lost => 2,
+    }
+}
+
+proptest! {
+    #[test]
+    fn diversity_is_commutative(a in arb_fate(), b in arb_fate()) {
+        prop_assert_eq!(combine_diversity(a, b), combine_diversity(b, a));
+    }
+
+    #[test]
+    fn diversity_never_worse_than_either_copy(a in arb_fate(), b in arb_fate()) {
+        let c = combine_diversity(a, b);
+        prop_assert!(rank(c) <= rank(a).min(rank(b)));
+        if let (PacketFate::Delivered(d), PacketFate::Delivered(x)) = (c, a) {
+            prop_assert!(d <= x);
+        }
+    }
+
+    #[test]
+    fn diversity_with_self_is_identity(a in arb_fate()) {
+        prop_assert_eq!(combine_diversity(a, a), a);
+    }
+
+    #[test]
+    fn packet_fate_loss_monotone(
+        seq in 0u64..5_000,
+        base_delay in 1.0f64..200.0,
+        l1 in 0.0f64..1.0,
+        l2 in 0.0f64..1.0,
+    ) {
+        // If a packet is lost at loss rate l_lo it stays lost at l_hi ≥ l_lo
+        // (same deterministic draw, higher threshold).
+        let d = PathDynamics::sample(
+            &[HostId(1)],
+            60_000,
+            &DynamicsConfig { episodes_per_minute: 0.0, seed: 5, ..Default::default() },
+        );
+        let cfg = StreamConfig::default();
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let at_lo = packet_fate(seq, 0, base_delay, lo, &d, &cfg);
+        let at_hi = packet_fate(seq, 0, base_delay, hi, &d, &cfg);
+        if at_lo == PacketFate::Lost {
+            prop_assert_eq!(at_hi, PacketFate::Lost);
+        }
+    }
+
+    #[test]
+    fn aggregator_conserves_packets(fates in proptest::collection::vec(arb_fate(), 1..400)) {
+        let window_ms = 1_000u64;
+        let mut agg = WindowAggregator::new(StreamConfig { window_ms, ..Default::default() });
+        for (i, &f) in fates.iter().enumerate() {
+            agg.record(i as u64 * 20, f);
+        }
+        let windows = agg.finish();
+        let sent: u32 = windows.iter().map(|w| w.sent).sum();
+        prop_assert_eq!(sent as usize, fates.len());
+        for w in &windows {
+            prop_assert!(w.lost + w.late <= w.sent);
+            prop_assert!((1.0..=4.5).contains(&w.mos));
+            prop_assert!((0.0..=1.0).contains(&w.effective_loss()));
+        }
+    }
+
+    #[test]
+    fn dynamics_condition_is_pure(relay in 0u32..50, t in 0u64..300_000) {
+        let d = PathDynamics::sample(
+            &[HostId(relay)],
+            300_000,
+            &DynamicsConfig { episodes_per_minute: 2.0, seed: 6, ..Default::default() },
+        );
+        prop_assert_eq!(d.condition_at(t), d.condition_at(t));
+        let (delay, loss) = d.condition_at(t);
+        prop_assert!(delay >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&loss));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the E-model and quality predicates.
+
+use asap_voip::budget::DelayBudget;
+use asap_voip::emodel::{r_to_mos, EModel};
+use asap_voip::{Codec, PathQuality, QualityRequirement};
+use proptest::prelude::*;
+
+fn arb_codec() -> impl Strategy<Value = Codec> {
+    prop_oneof![
+        Just(Codec::G711),
+        Just(Codec::G711Plc),
+        Just(Codec::G729),
+        Just(Codec::G729aVad),
+        Just(Codec::G7231),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mos_is_always_in_range(codec in arb_codec(), delay in 0.0f64..5_000.0, loss in 0.0f64..1.0) {
+        let mos = EModel::new(codec).mos(delay, loss);
+        prop_assert!((1.0..=4.5).contains(&mos), "MOS {mos} out of range");
+    }
+
+    #[test]
+    fn mos_monotone_in_delay(codec in arb_codec(), d1 in 0.0f64..2_000.0, d2 in 0.0f64..2_000.0, loss in 0.0f64..0.5) {
+        let m = EModel::new(codec);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.mos(lo, loss) >= m.mos(hi, loss) - 1e-12);
+    }
+
+    #[test]
+    fn mos_monotone_in_loss(codec in arb_codec(), delay in 0.0f64..2_000.0, l1 in 0.0f64..1.0, l2 in 0.0f64..1.0) {
+        let m = EModel::new(codec);
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        prop_assert!(m.mos(delay, lo) >= m.mos(delay, hi) - 1e-12);
+    }
+
+    #[test]
+    fn r_to_mos_monotone_and_clamped(r1 in -50.0f64..150.0, r2 in -50.0f64..150.0) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(r_to_mos(lo) <= r_to_mos(hi) + 1e-12);
+        prop_assert!((1.0..=4.5).contains(&r_to_mos(r1)));
+    }
+
+    #[test]
+    fn rtt_and_one_way_agree(codec in arb_codec(), rtt in 0.0f64..2_000.0, loss in 0.0f64..0.5) {
+        let m = EModel::new(codec);
+        prop_assert_eq!(m.mos_from_rtt(rtt, loss), m.mos(rtt / 2.0, loss));
+    }
+
+    #[test]
+    fn better_codec_never_hurts_at_zero_loss(delay in 0.0f64..1_000.0) {
+        // G.711 (Ie = 0) upper-bounds every other codec at zero loss.
+        let g711 = EModel::new(Codec::G711).mos(delay, 0.0);
+        for codec in [Codec::G729, Codec::G729aVad, Codec::G7231] {
+            prop_assert!(g711 >= EModel::new(codec).mos(delay, 0.0) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn quality_requirement_consistency(rtt in 0.0f64..2_000.0, loss in 0.0f64..0.2) {
+        let req = QualityRequirement::default();
+        let q = PathQuality::score(rtt, loss, Codec::G729aVad);
+        if req.satisfied_by(&q) {
+            prop_assert!(rtt < req.max_rtt_ms);
+            prop_assert!(loss <= req.max_loss);
+            prop_assert!(q.mos >= req.min_mos);
+        }
+        // A path that satisfies keeps satisfying when strictly improved.
+        if req.satisfied_by(&q) && rtt > 1.0 {
+            let better = PathQuality::score(rtt - 1.0, loss, Codec::G729aVad);
+            prop_assert!(req.satisfied_by(&better));
+        }
+    }
+
+    #[test]
+    fn delay_budget_partition(frames in 1u32..6, playout in 0.0f64..120.0, codec in arb_codec()) {
+        let b = DelayBudget::new(codec, frames, playout);
+        let total = b.end_system_ms() + b.network_budget_ms();
+        // Either the budget partitions exactly at 150 ms, or the end
+        // system already exceeds it and the network share is zero.
+        if b.network_budget_ms() > 0.0 {
+            prop_assert!((total - 150.0).abs() < 1e-9);
+        } else {
+            prop_assert!(b.end_system_ms() >= 150.0 - 1e-9);
+        }
+        prop_assert!(b.fits(b.network_budget_ms()));
+    }
+}

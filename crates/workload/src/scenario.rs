@@ -1,0 +1,237 @@
+//! The one-stop experiment scenario: Internet + network model +
+//! population, with the host- and cluster-level latency queries every
+//! relay-selection method needs.
+
+use std::sync::Arc;
+
+use asap_cluster::ClusterId;
+use asap_netsim::{NetConfig, NetModel, RELAY_DELAY_RTT_MS};
+use asap_topology::{InternetConfig, InternetGenerator, SyntheticInternet};
+
+use crate::population::{HostId, Population, PopulationConfig};
+
+/// Configuration bundle for [`Scenario::build`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioConfig {
+    /// Topology generation parameters.
+    pub internet: InternetConfig,
+    /// Latency/loss model parameters.
+    pub net: NetConfig,
+    /// Population synthesis parameters.
+    pub population: PopulationConfig,
+}
+
+impl ScenarioConfig {
+    /// A small scenario for fast tests (a few hundred peers over ~150
+    /// ASes).
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            internet: InternetConfig::tiny(),
+            net: NetConfig::default(),
+            population: PopulationConfig::tiny(),
+        }
+    }
+
+    /// The evaluation scale used throughout the paper's §7.2 figures:
+    /// 23,366 online peers. Topology defaults (~4,000 ASes) keep a single
+    /// run in the seconds range.
+    pub fn eval_scale() -> Self {
+        ScenarioConfig {
+            internet: InternetConfig::default(),
+            net: NetConfig::default(),
+            population: PopulationConfig {
+                target_hosts: 23_366,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The §7.3 scalability scale: 103,625 online peers (4.434 × the
+    /// evaluation scale).
+    pub fn scalability_scale() -> Self {
+        ScenarioConfig {
+            internet: InternetConfig::default(),
+            net: NetConfig::default(),
+            population: PopulationConfig {
+                target_hosts: 103_625,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// A fully built experiment world.
+///
+/// ```
+/// use asap_workload::{Scenario, ScenarioConfig};
+///
+/// let s = Scenario::build(ScenarioConfig::tiny(), 7);
+/// let a = s.population.hosts()[0].id;
+/// let b = s.population.hosts()[99].id;
+/// let direct = s.host_rtt_ms(a, b).expect("routable");
+/// // Relaying through some host r always costs at least the 40 ms
+/// // round-trip forwarding delay on top of the two legs.
+/// let r = s.population.hosts()[50].id;
+/// let relayed = s.one_hop_rtt_ms(a, r, b).unwrap();
+/// assert!(relayed >= s.host_rtt_ms(a, r).unwrap() + s.host_rtt_ms(r, b).unwrap());
+/// let _ = direct;
+/// ```
+#[derive(Debug)]
+pub struct Scenario {
+    /// The synthetic Internet.
+    pub internet: Arc<SyntheticInternet>,
+    /// The latency/loss model over it.
+    pub net: NetModel,
+    /// The peer population.
+    pub population: Population,
+}
+
+impl Scenario {
+    /// Generates topology, network model, and population from one master
+    /// seed (sub-seeds are derived so the three stages stay independent).
+    pub fn build(config: ScenarioConfig, seed: u64) -> Self {
+        let internet = Arc::new(InternetGenerator::new(config.internet, seed ^ 0x7090).generate());
+        let net = NetModel::new(internet.clone(), config.net, seed ^ 0x1e7);
+        let mut pop_cfg = config.population;
+        pop_cfg.seed = seed ^ 0x90b;
+        let population = Population::generate(&internet, &pop_cfg);
+        Scenario {
+            internet,
+            net,
+            population,
+        }
+    }
+
+    /// Direct IP-routing RTT between two hosts (AS-level route plus both
+    /// access links), or `None` if their ASes cannot reach each other.
+    pub fn host_rtt_ms(&self, a: HostId, b: HostId) -> Option<f64> {
+        let (ha, hb) = (self.population.host(a), self.population.host(b));
+        self.net
+            .host_rtt_ms((ha.asn, ha.access_ms), (hb.asn, hb.access_ms))
+    }
+
+    /// End-to-end loss probability of the direct route between two hosts.
+    pub fn host_loss(&self, a: HostId, b: HostId) -> Option<f64> {
+        let (ha, hb) = (self.population.host(a), self.population.host(b));
+        self.net.as_loss(ha.asn, hb.asn)
+    }
+
+    /// RTT of the one-hop relay path `a → r → b`: both legs' RTTs plus the
+    /// relay's 40 ms round-trip forwarding delay (paper §3.2).
+    pub fn one_hop_rtt_ms(&self, a: HostId, r: HostId, b: HostId) -> Option<f64> {
+        Some(self.host_rtt_ms(a, r)? + self.host_rtt_ms(r, b)? + RELAY_DELAY_RTT_MS)
+    }
+
+    /// RTT of the two-hop relay path `a → r1 → r2 → b` (two forwarding
+    /// delays).
+    pub fn two_hop_rtt_ms(&self, a: HostId, r1: HostId, r2: HostId, b: HostId) -> Option<f64> {
+        Some(
+            self.host_rtt_ms(a, r1)?
+                + self.host_rtt_ms(r1, r2)?
+                + self.host_rtt_ms(r2, b)?
+                + 2.0 * RELAY_DELAY_RTT_MS,
+        )
+    }
+
+    /// Loss of the one-hop relay path (legs are independent: the packet
+    /// survives iff it survives both).
+    pub fn one_hop_loss(&self, a: HostId, r: HostId, b: HostId) -> Option<f64> {
+        let (l1, l2) = (self.host_loss(a, r)?, self.host_loss(r, b)?);
+        Some(1.0 - (1.0 - l1) * (1.0 - l2))
+    }
+
+    /// The delegate host of a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster id is out of range.
+    pub fn delegate_of(&self, cluster: ClusterId) -> HostId {
+        let ip = self.population.clustering().cluster(cluster).delegate();
+        self.population
+            .host_by_ip(ip)
+            .expect("delegate is a population host")
+            .id
+    }
+
+    /// Cluster-to-cluster RTT, estimated delegate-to-delegate as the paper
+    /// does ("the direct IP routing latency between two peers in two
+    /// different clusters can be estimated by the direct IP routing
+    /// latency between any pair of nodes in their corresponding
+    /// clusters").
+    pub fn cluster_rtt_ms(&self, a: ClusterId, b: ClusterId) -> Option<f64> {
+        self.host_rtt_ms(self.delegate_of(a), self.delegate_of(b))
+    }
+
+    /// Cluster-to-cluster loss, delegate-to-delegate.
+    pub fn cluster_loss(&self, a: ClusterId, b: ClusterId) -> Option<f64> {
+        self.host_loss(self.delegate_of(a), self.delegate_of(b))
+    }
+
+    /// Number of clusters in the population.
+    pub fn cluster_count(&self) -> usize {
+        self.population.clustering().cluster_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario::build(ScenarioConfig::tiny(), 11)
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = scenario();
+        let b = scenario();
+        assert_eq!(a.population.hosts(), b.population.hosts());
+        let (h1, h2) = (a.population.hosts()[0].id, a.population.hosts()[50].id);
+        assert_eq!(a.host_rtt_ms(h1, h2), b.host_rtt_ms(h1, h2));
+    }
+
+    #[test]
+    fn relay_path_costs_forwarding_delay() {
+        let s = scenario();
+        let hosts = s.population.hosts();
+        let (a, r, b) = (hosts[0].id, hosts[20].id, hosts[40].id);
+        let one_hop = s.one_hop_rtt_ms(a, r, b).unwrap();
+        let legs = s.host_rtt_ms(a, r).unwrap() + s.host_rtt_ms(r, b).unwrap();
+        assert!((one_hop - legs - RELAY_DELAY_RTT_MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_hop_costs_two_forwarding_delays() {
+        let s = scenario();
+        let h = s.population.hosts();
+        let (a, r1, r2, b) = (h[0].id, h[10].id, h[30].id, h[60].id);
+        let two = s.two_hop_rtt_ms(a, r1, r2, b).unwrap();
+        let legs = s.host_rtt_ms(a, r1).unwrap()
+            + s.host_rtt_ms(r1, r2).unwrap()
+            + s.host_rtt_ms(r2, b).unwrap();
+        assert!((two - legs - 2.0 * RELAY_DELAY_RTT_MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relay_loss_composes_independently() {
+        let s = scenario();
+        let h = s.population.hosts();
+        let (a, r, b) = (h[3].id, h[33].id, h[63].id);
+        let composed = s.one_hop_loss(a, r, b).unwrap();
+        let (l1, l2) = (s.host_loss(a, r).unwrap(), s.host_loss(r, b).unwrap());
+        assert!(composed >= l1.max(l2));
+        assert!(composed <= l1 + l2 + 1e-12);
+    }
+
+    #[test]
+    fn cluster_rtt_uses_delegates() {
+        let s = scenario();
+        let c0 = s.population.cluster_of(s.population.hosts()[0].id);
+        let c_other = s.population.cluster_of(s.population.hosts()[150].id);
+        if c0 != c_other {
+            let via_cluster = s.cluster_rtt_ms(c0, c_other);
+            let via_hosts = s.host_rtt_ms(s.delegate_of(c0), s.delegate_of(c_other));
+            assert_eq!(via_cluster, via_hosts);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! VoIP calling-session generation.
+//!
+//! The paper "randomly generate\[s\] 100,000 pairs of peers from \[the\]
+//! collected Gnutella IP address pool to represent 100,000 VoIP calling
+//! sessions, among which there are about 1,000 sessions having their
+//! direct IP routing RTTs above 300 ms" (§7.1). These *latent sessions*
+//! are the ones relay selection is evaluated on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::population::{HostId, Population};
+use crate::scenario::Scenario;
+
+/// One VoIP calling session between two peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Session {
+    /// The calling host.
+    pub caller: HostId,
+    /// The called host.
+    pub callee: HostId,
+}
+
+/// Generates `n` random sessions between distinct hosts, seeded.
+///
+/// # Panics
+///
+/// Panics if the population has fewer than two hosts.
+pub fn generate(population: &Population, n: usize, seed: u64) -> Vec<Session> {
+    let count = population.hosts().len();
+    assert!(count >= 2, "need at least two hosts to form a session");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let caller = HostId(rng.gen_range(0..count) as u32);
+            let callee = loop {
+                let c = HostId(rng.gen_range(0..count) as u32);
+                if c != caller {
+                    break c;
+                }
+            };
+            Session { caller, callee }
+        })
+        .collect()
+}
+
+/// A session with its measured direct-route properties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionWithDirect {
+    /// The session.
+    pub session: Session,
+    /// Direct IP-routing RTT in milliseconds.
+    pub direct_rtt_ms: f64,
+    /// Direct-route loss probability.
+    pub direct_loss: f64,
+}
+
+/// Evaluates the direct route of every session, dropping unroutable pairs
+/// (the measurement analogue of King non-responses).
+pub fn with_direct_routes(scenario: &Scenario, sessions: &[Session]) -> Vec<SessionWithDirect> {
+    sessions
+        .iter()
+        .filter_map(|&session| {
+            let direct_rtt_ms = scenario.host_rtt_ms(session.caller, session.callee)?;
+            let direct_loss = scenario.host_loss(session.caller, session.callee)?;
+            Some(SessionWithDirect {
+                session,
+                direct_rtt_ms,
+                direct_loss,
+            })
+        })
+        .collect()
+}
+
+/// Filters to the *latent sessions*: direct RTT above `threshold_ms`
+/// (300 ms in the paper).
+pub fn latent_sessions(
+    sessions: &[SessionWithDirect],
+    threshold_ms: f64,
+) -> Vec<SessionWithDirect> {
+    sessions
+        .iter()
+        .copied()
+        .filter(|s| s.direct_rtt_ms > threshold_ms)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+
+    #[test]
+    fn sessions_are_distinct_pairs_and_deterministic() {
+        let s = Scenario::build(ScenarioConfig::tiny(), 3);
+        let a = generate(&s.population, 50, 7);
+        let b = generate(&s.population, 50, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| x.caller != x.callee));
+        assert_ne!(a, generate(&s.population, 50, 8));
+    }
+
+    #[test]
+    fn direct_routes_are_populated() {
+        let s = Scenario::build(ScenarioConfig::tiny(), 3);
+        let sessions = generate(&s.population, 100, 1);
+        let with = with_direct_routes(&s, &sessions);
+        assert!(!with.is_empty());
+        for sw in &with {
+            assert!(sw.direct_rtt_ms > 0.0);
+            assert!((0.0..=1.0).contains(&sw.direct_loss));
+        }
+    }
+
+    #[test]
+    fn latent_filter_respects_threshold() {
+        let s = Scenario::build(ScenarioConfig::tiny(), 3);
+        let with = with_direct_routes(&s, &generate(&s.population, 200, 2));
+        let latent = latent_sessions(&with, 300.0);
+        assert!(latent.iter().all(|s| s.direct_rtt_ms > 300.0));
+        let non_latent = with.len() - latent.len();
+        assert!(
+            non_latent > 0,
+            "some sessions should be below the threshold"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two hosts")]
+    fn generation_needs_two_hosts() {
+        let s = Scenario::build(ScenarioConfig::tiny(), 3);
+        // Build an empty population view by requesting from a tiny one…
+        // simplest: call with a population of one host is impossible to
+        // construct cheaply, so simulate via direct panic check on n = 0
+        // hosts using an empty slice is not possible; instead assert the
+        // guard using the real API with a 1-host population.
+        let mut cfg = crate::population::PopulationConfig::tiny();
+        cfg.target_hosts = 1;
+        let pop = crate::population::Population::generate(&s.internet, &cfg);
+        let _ = generate(&pop, 1, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Experiment trace (de)serialization.
+//!
+//! Experiment binaries in `asap-bench` dump their per-session results as
+//! JSON lines so that EXPERIMENTS.md tables can be regenerated and so
+//! that runs at different scales can be diffed. One line = one
+//! [`SessionRecord`].
+
+use std::io::{self, BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-session result row, common to all relay-selection methods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRecord {
+    /// Experiment identifier (e.g. `"fig12"`).
+    pub experiment: String,
+    /// Relay-selection method (e.g. `"ASAP"`, `"DEDI"`).
+    pub method: String,
+    /// Session index within the run.
+    pub session: u32,
+    /// Direct IP-routing RTT in milliseconds.
+    pub direct_rtt_ms: f64,
+    /// Number of quality relay paths found.
+    pub quality_paths: u64,
+    /// Shortest relay-path RTT found, if any path was found.
+    pub shortest_rtt_ms: Option<f64>,
+    /// Highest MOS among found paths, if any.
+    pub highest_mos: Option<f64>,
+    /// Protocol messages spent on the selection.
+    pub messages: u64,
+}
+
+/// Writes records as JSON lines.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_jsonl<W: Write>(mut w: W, records: &[SessionRecord]) -> io::Result<()> {
+    for r in records {
+        serde_json::to_writer(&mut w, r)?;
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads records from JSON lines, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns any I/O or deserialization error.
+pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Vec<SessionRecord>> {
+    let mut out = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(serde_json::from_str(&line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SessionRecord> {
+        vec![
+            SessionRecord {
+                experiment: "fig12".into(),
+                method: "ASAP".into(),
+                session: 0,
+                direct_rtt_ms: 412.5,
+                quality_paths: 10_432,
+                shortest_rtt_ms: Some(88.2),
+                highest_mos: Some(4.02),
+                messages: 214,
+            },
+            SessionRecord {
+                experiment: "fig12".into(),
+                method: "RAND".into(),
+                session: 0,
+                direct_rtt_ms: 412.5,
+                quality_paths: 3,
+                shortest_rtt_ms: None,
+                highest_mos: None,
+                messages: 200,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let records = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records).unwrap();
+        let back = read_jsonl(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &sample()).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_jsonl(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        let back = read_jsonl(io::BufReader::new(&b"not json"[..]));
+        assert!(back.is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Calibration of the synthetic latency distribution against the paper's
+//! Fig. 2(a): of 10^5 random sessions, ~10^4 exceed 200 ms, ~10^3 exceed
+//! 300 ms, and a handful exceed 5 s. The exact counts depend on the 2005
+//! Internet; we assert the *shape* — a heavy tail with roughly the right
+//! decades — at a reduced session count for test speed.
+
+use asap_workload::{sessions, PopulationConfig, Scenario, ScenarioConfig};
+
+#[test]
+fn direct_rtt_tail_has_the_papers_shape() {
+    // Needs a full-size AS topology: at the tiny test scale there are too
+    // few transit ASes for congestion episodes to land on session paths.
+    let mut cfg = ScenarioConfig::eval_scale();
+    cfg.population = PopulationConfig {
+        target_hosts: 4_000,
+        ..Default::default()
+    };
+    let scenario = Scenario::build(cfg, 1234);
+    let all = sessions::generate(&scenario.population, 4_000, 5);
+    let with = sessions::with_direct_routes(&scenario, &all);
+    let n = with.len() as f64;
+    assert!(n >= 3_500.0, "too many unroutable sessions: {n}");
+
+    let frac_above = |ms: f64| with.iter().filter(|s| s.direct_rtt_ms > ms).count() as f64 / n;
+
+    let above200 = frac_above(200.0);
+    let above300 = frac_above(300.0);
+    let above5000 = frac_above(5_000.0);
+
+    // Paper: ~10% above 200 ms, ~1% above 300 ms, ~0.01% above 5 s.
+    assert!(
+        (0.02..0.30).contains(&above200),
+        "fraction above 200 ms = {above200:.4}, want ~0.10"
+    );
+    assert!(
+        (0.002..0.08).contains(&above300),
+        "fraction above 300 ms = {above300:.4}, want ~0.01"
+    );
+    assert!(
+        above5000 <= 0.01,
+        "fraction above 5 s = {above5000:.5}, want ~0.0001"
+    );
+    assert!(above200 > above300, "tail must thin with the threshold");
+}

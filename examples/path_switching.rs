@@ -1,0 +1,68 @@
+//! Path switching and path diversity on top of ASAP (§6.2's closing
+//! pointer): a whole call simulated packet by packet under four
+//! transmission policies, with mid-call congestion episodes.
+//!
+//! ```sh
+//! cargo run --release --example path_switching
+//! ```
+
+use asap::prelude::*;
+use asap::transport::dynamics::DynamicsConfig;
+
+fn main() {
+    let scenario = Scenario::build(ScenarioConfig::tiny(), 5);
+    let dynamics = DynamicsConfig {
+        episodes_per_minute: 1.5,
+        seed: 17,
+        ..Default::default()
+    };
+    let config = CallConfig {
+        duration_ms: 120_000,
+        ..Default::default()
+    };
+
+    println!(
+        "{:>10} | {:>9} {:>8} {:>9} | windows below MOS 3.6",
+        "policy", "mean MOS", "min MOS", "switches"
+    );
+    let mut reports = Vec::new();
+    for session in sessions::generate(&scenario.population, 6, 21) {
+        for policy in [
+            Policy::DirectOnly,
+            Policy::Static,
+            Policy::Switching,
+            Policy::Diversity,
+        ] {
+            let report = simulate_transport(&scenario, session, policy, &config, &dynamics);
+            reports.push(report);
+        }
+    }
+
+    for policy in [
+        Policy::DirectOnly,
+        Policy::Static,
+        Policy::Switching,
+        Policy::Diversity,
+    ] {
+        let of_policy: Vec<_> = reports.iter().filter(|r| r.policy == policy).collect();
+        let mean: f64 = of_policy.iter().map(|r| r.mean_mos).sum::<f64>() / of_policy.len() as f64;
+        let min = of_policy
+            .iter()
+            .map(|r| r.min_mos)
+            .fold(f64::INFINITY, f64::min);
+        let switches: usize = of_policy.iter().map(|r| r.switches.len()).sum();
+        let bad_windows: usize = of_policy
+            .iter()
+            .flat_map(|r| &r.windows)
+            .filter(|w| w.mos < 3.6)
+            .count();
+        let total_windows: usize = of_policy.iter().map(|r| r.windows.len()).sum();
+        println!(
+            "{policy:>10} | {mean:>9.2} {min:>8.2} {switches:>9} | {bad_windows}/{total_windows}"
+        );
+    }
+    println!(
+        "\nASAP finds the candidate paths; switching repairs mid-call congestion,\n\
+         diversity masks uncorrelated loss at the cost of double bandwidth."
+    );
+}

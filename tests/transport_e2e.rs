@@ -1,0 +1,88 @@
+//! End-to-end transport test: ASAP-selected candidate paths carried
+//! through packet-level calls under every policy.
+
+use asap::prelude::*;
+use asap::transport::call::{candidate_paths, simulate_with_paths};
+use asap::transport::dynamics::DynamicsConfig;
+
+#[test]
+fn policies_rank_sanely_over_asap_candidates() {
+    let scenario = Scenario::build(ScenarioConfig::tiny(), 31);
+    let system = AsapSystem::bootstrap(&scenario, AsapConfig::default());
+    let call_cfg = CallConfig {
+        duration_ms: 90_000,
+        ..Default::default()
+    };
+    let dynamics = DynamicsConfig {
+        episodes_per_minute: 2.0,
+        seed: 77,
+        ..Default::default()
+    };
+
+    let mut means = std::collections::HashMap::new();
+    let mut compared = 0usize;
+    for session in sessions::generate(&scenario.population, 10, 9) {
+        let paths = candidate_paths(&scenario, &system, session, &call_cfg, &dynamics);
+        if paths.len() < 2 {
+            continue; // no standby: every policy degenerates to static
+        }
+        compared += 1;
+        for policy in [Policy::Static, Policy::Switching, Policy::Diversity] {
+            let report = simulate_with_paths(paths.clone(), policy, &call_cfg);
+            assert!(!report.windows.is_empty());
+            assert!(report.min_mos <= report.mean_mos + 1e-9);
+            *means.entry(policy_name(policy)).or_insert(0.0) += report.mean_mos;
+        }
+    }
+    assert!(
+        compared >= 3,
+        "too few sessions with standby paths: {compared}"
+    );
+
+    let avg = |k: &str| means[k] / compared as f64;
+    // Adaptive policies must not do materially worse than static: they
+    // only deviate from the static choice on evidence.
+    assert!(
+        avg("switching") >= avg("static") - 0.05,
+        "switching {:.2} vs static {:.2}",
+        avg("switching"),
+        avg("static")
+    );
+    assert!(
+        avg("diversity") >= avg("static") - 0.05,
+        "diversity {:.2} vs static {:.2}",
+        avg("diversity"),
+        avg("static")
+    );
+}
+
+fn policy_name(p: Policy) -> &'static str {
+    match p {
+        Policy::DirectOnly => "direct",
+        Policy::Static => "static",
+        Policy::Switching => "switching",
+        Policy::Diversity => "diversity",
+    }
+}
+
+#[test]
+fn candidate_paths_always_start_with_direct_when_routable() {
+    let scenario = Scenario::build(ScenarioConfig::tiny(), 32);
+    let system = AsapSystem::bootstrap(&scenario, AsapConfig::default());
+    let call_cfg = CallConfig::default();
+    let dynamics = DynamicsConfig::default();
+    for session in sessions::generate(&scenario.population, 8, 10) {
+        let paths = candidate_paths(&scenario, &system, session, &call_cfg, &dynamics);
+        if scenario
+            .host_rtt_ms(session.caller, session.callee)
+            .is_some()
+        {
+            assert_eq!(paths[0].label, "direct");
+        }
+        // Relay candidates never name the endpoints.
+        for p in &paths[1..] {
+            assert!(p.label.starts_with("via "));
+        }
+        assert!(paths.len() <= 1 + call_cfg.max_candidates);
+    }
+}
