@@ -1,5 +1,7 @@
 //! Protocol configuration.
 
+use asap_netsim::faults::RetryPolicy;
+
 /// The ASAP protocol constants, with the values §6.2/§7.1 of the paper
 /// recommends.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +25,9 @@ pub struct AsapConfig {
     /// `ceil(members / members_per_surrogate)` surrogates, so the few
     /// ~1,000-host clusters share their request load (§6.3).
     pub members_per_surrogate: usize,
+    /// Timeout/retry/backoff schedule for control requests (close-set
+    /// fetches) when messages are being dropped by injected faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for AsapConfig {
@@ -34,6 +39,7 @@ impl Default for AsapConfig {
             size_t: 300,
             publish_interval_ms: 60_000,
             members_per_surrogate: 300,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -49,8 +55,8 @@ impl AsapConfig {
         if self.k == 0 {
             return Err("k must be at least 1 AS hop".into());
         }
-        if !(self.lat_t_ms > 0.0) {
-            return Err("latT must be positive".into());
+        if !(self.lat_t_ms > 0.0 && self.lat_t_ms.is_finite()) {
+            return Err("latT must be positive and finite".into());
         }
         if !(self.loss_t > 0.0 && self.loss_t <= 1.0) {
             return Err("lossT must be in (0, 1]".into());
@@ -58,6 +64,7 @@ impl AsapConfig {
         if self.members_per_surrogate == 0 {
             return Err("members_per_surrogate must be at least 1".into());
         }
+        self.retry.validate()?;
         Ok(())
     }
 }

@@ -8,14 +8,19 @@
 //! that the protocol machine stays consistent under churn, and the source
 //! of the §6.3 traffic-load numbers.
 
+use std::collections::BTreeMap;
+
+use asap_cluster::ClusterId;
 use asap_netsim::events::{EventQueue, SimTime};
+use asap_netsim::faults::{FaultKind, FaultPlan, FaultPlanConfig, MessageDrops};
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::AsapConfig;
-use crate::system::AsapSystem;
+use crate::select::CloseRelaySelection;
+use crate::system::{AsapSystem, RecoveryStats};
 
 /// Message taxonomy for the load accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -50,6 +55,12 @@ pub struct SimConfig {
     pub calls: usize,
     /// Number of random surrogate failures injected.
     pub surrogate_failures: usize,
+    /// How long a placed call stays active, ms — while active, relay
+    /// crashes hit it mid-call and congestion bursts degrade it.
+    pub call_duration_ms: u64,
+    /// Optional deterministic fault schedule driven alongside the
+    /// workload (crashes, congestion, message drops, stale epochs).
+    pub faults: Option<FaultPlanConfig>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -61,13 +72,15 @@ impl Default for SimConfig {
             duration_ms: 600_000,
             calls: 50,
             surrogate_failures: 3,
+            call_duration_ms: 180_000,
+            faults: None,
             seed: 0,
         }
     }
 }
 
 /// What the protocol simulation observed.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimReport {
     /// Hosts that joined.
     pub joined: u64,
@@ -77,6 +90,17 @@ pub struct SimReport {
     pub calls_without_path: u64,
     /// Surrogate failovers performed.
     pub failovers: u64,
+    /// Mid-call relay failovers that found a replacement path.
+    pub midcall_failovers: u64,
+    /// Active calls torn down because no replacement path existed after
+    /// their relay died.
+    pub calls_dropped: u64,
+    /// Active calls degraded by an AS congestion burst crossing one of
+    /// their endpoints or relays.
+    pub congestion_degraded_calls: u64,
+    /// Protocol-side recovery counters (retries, re-elections, cache
+    /// invalidations), snapshotted from the system at the end.
+    pub recovery: RecoveryStats,
     /// Message counters by type.
     pub messages: MessageCounts,
     /// Virtual time at which the simulation ended.
@@ -90,7 +114,27 @@ enum Event {
     Publish(HostId),
     Call(Session),
     FailSurrogate(u32),
+    /// A scheduled fault fires (index into the [`FaultPlan`]).
+    Fault(usize),
+    /// A windowed fault (message drops) expires.
+    FaultEnd,
+    /// An active call hangs up normally.
+    EndCall(u64),
     End,
+}
+
+/// A call in progress: enough state to fail it over when its relay dies
+/// and to mark it degraded when congestion crosses its path.
+#[derive(Debug)]
+struct ActiveCall {
+    session: Session,
+    /// The cached candidate set failover re-picks from (None for calls
+    /// that went direct).
+    selection: Option<CloseRelaySelection>,
+    relays: Vec<HostId>,
+    /// Relays that already died under this call (never re-picked).
+    dead: Vec<HostId>,
+    degraded: bool,
 }
 
 /// Runs the protocol machine over virtual time.
@@ -130,9 +174,27 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
             Event::FailSurrogate(rng.gen_range(0..clusters)),
         );
     }
+    let plan = sim.faults.as_ref().map(|fc| {
+        let mut asns: Vec<u32> = hosts.iter().map(|h| h.asn.0).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        let plan = FaultPlan::generate(fc, clusters, hosts.len() as u32, &asns);
+        for (i, e) in plan.events().iter().enumerate() {
+            queue.schedule(SimTime(e.at_ms), Event::Fault(i));
+        }
+        plan
+    });
+    let plan = plan.unwrap_or_default();
     queue.schedule(SimTime(sim.duration_ms), Event::End);
 
     let mut report = SimReport::default();
+    // BTreeMap so iteration (failover scans, congestion marking) is
+    // deterministic.
+    let mut active: BTreeMap<u64, ActiveCall> = BTreeMap::new();
+    let mut next_call_id: u64 = 0;
+    // ASN → congestion-burst end time (virtual ms).
+    let mut congested_until: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut drop_windows_active: u32 = 0;
     while let Some((now, event)) = queue.pop() {
         match event {
             Event::End => {
@@ -162,23 +224,188 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
             Event::Call(session) => {
                 let outcome = system.call(session.caller, session.callee);
                 report.messages.call += outcome.messages;
-                if outcome.chosen.is_some() {
+                if let Some(chosen) = outcome.chosen {
                     report.calls_completed += 1;
+                    let mut call = ActiveCall {
+                        session,
+                        selection: outcome.selection,
+                        relays: chosen.relays,
+                        dead: Vec::new(),
+                        degraded: false,
+                    };
+                    if call_touches_congestion(scenario, &call, &congested_until, now.as_ms()) {
+                        call.degraded = true;
+                        report.congestion_degraded_calls += 1;
+                    }
+                    let id = next_call_id;
+                    next_call_id += 1;
+                    active.insert(id, call);
+                    queue.schedule(now.after_ms(sim.call_duration_ms), Event::EndCall(id));
                 } else {
                     report.calls_without_path += 1;
                 }
             }
+            Event::EndCall(id) => {
+                active.remove(&id);
+            }
             Event::FailSurrogate(cluster) => {
-                let id = asap_cluster::ClusterId(cluster);
+                let id = ClusterId(cluster);
                 let members = scenario.population.cluster_members(id).len() as u64;
+                let old = system.surrogate_of(id);
                 let _ = system.fail_surrogate(id);
                 report.failovers += 1;
                 // Notify bootstrap (2) and cluster members (1 each).
                 report.messages.election += 2 + members;
+                fail_over_calls(&system, &mut active, &mut report, old);
+            }
+            Event::Fault(i) => {
+                apply_fault(
+                    scenario,
+                    &system,
+                    plan.events()[i].kind,
+                    i,
+                    now,
+                    sim,
+                    &mut queue,
+                    &mut active,
+                    &mut congested_until,
+                    &mut drop_windows_active,
+                    &mut report,
+                );
+            }
+            Event::FaultEnd => {
+                // Only message-drop windows schedule an end event.
+                drop_windows_active = drop_windows_active.saturating_sub(1);
+                if drop_windows_active == 0 {
+                    system.set_message_faults(None);
+                }
             }
         }
     }
+    report.recovery = system.stats().recovery;
     report
+}
+
+/// Applies one scheduled fault to the running system.
+#[allow(clippy::too_many_arguments)]
+fn apply_fault(
+    scenario: &Scenario,
+    system: &AsapSystem<'_>,
+    kind: FaultKind,
+    index: usize,
+    now: SimTime,
+    sim: &SimConfig,
+    queue: &mut EventQueue<Event>,
+    active: &mut BTreeMap<u64, ActiveCall>,
+    congested_until: &mut BTreeMap<u32, u64>,
+    drop_windows_active: &mut u32,
+    report: &mut SimReport,
+) {
+    match kind {
+        FaultKind::SurrogateCrash { cluster } => {
+            let id = ClusterId(cluster);
+            let victim = system.surrogate_of(id);
+            if system.crash_host(victim) {
+                report.failovers += 1;
+                let members = scenario.population.cluster_members(id).len() as u64;
+                report.messages.election += 2 + members;
+            }
+            fail_over_calls(system, active, report, victim);
+        }
+        FaultKind::HostCrash { host } => {
+            let victim = HostId(host);
+            if system.crash_host(victim) {
+                // The host happened to be a surrogate: its cluster
+                // re-elected.
+                report.failovers += 1;
+                let cluster = scenario.population.cluster_of(victim);
+                let members = scenario.population.cluster_members(cluster).len() as u64;
+                report.messages.election += 2 + members;
+            }
+            fail_over_calls(system, active, report, victim);
+        }
+        FaultKind::AsCongestion {
+            asn, duration_ms, ..
+        } => {
+            let until = congested_until.entry(asn).or_insert(0);
+            *until = (*until).max(now.as_ms() + duration_ms);
+            for call in active.values_mut() {
+                if !call.degraded && call_touches_asn(scenario, call, asn) {
+                    call.degraded = true;
+                    report.congestion_degraded_calls += 1;
+                }
+            }
+        }
+        FaultKind::MessageDropWindow {
+            drop_prob,
+            duration_ms,
+        } => {
+            *drop_windows_active += 1;
+            system.set_message_faults(Some(MessageDrops::new(
+                drop_prob,
+                sim.seed ^ ((index as u64) << 20) ^ 0xD20F,
+            )));
+            queue.schedule(now.after_ms(duration_ms), Event::FaultEnd);
+        }
+        FaultKind::StaleCloseSet { cluster } => {
+            system.expire_close_set(ClusterId(cluster));
+        }
+    }
+}
+
+/// Fails over every active call relayed through `dead_host`: re-pick
+/// from the cached candidate set, or tear the call down when even the
+/// direct fallback is unroutable.
+fn fail_over_calls(
+    system: &AsapSystem<'_>,
+    active: &mut BTreeMap<u64, ActiveCall>,
+    report: &mut SimReport,
+    dead_host: HostId,
+) {
+    let affected: Vec<u64> = active
+        .iter()
+        .filter(|(_, c)| c.relays.contains(&dead_host))
+        .map(|(&id, _)| id)
+        .collect();
+    for id in affected {
+        let call = active.get_mut(&id).expect("collected from the map");
+        call.dead.push(dead_host);
+        let replacement = call.selection.as_ref().and_then(|sel| {
+            system.failover_path(call.session.caller, call.session.callee, sel, &call.dead)
+        });
+        match replacement {
+            Some(path) => {
+                call.relays = path.relays;
+                report.midcall_failovers += 1;
+                report.messages.call += 2; // failover re-ping
+            }
+            None => {
+                report.calls_dropped += 1;
+                active.remove(&id);
+            }
+        }
+    }
+}
+
+/// Whether any endpoint or relay of `call` sits in `asn`.
+fn call_touches_asn(scenario: &Scenario, call: &ActiveCall, asn: u32) -> bool {
+    let of = |h: HostId| scenario.population.host(h).asn.0;
+    of(call.session.caller) == asn
+        || of(call.session.callee) == asn
+        || call.relays.iter().any(|&r| of(r) == asn)
+}
+
+/// Whether `call` crosses any AS whose congestion burst is still live at
+/// `now_ms`.
+fn call_touches_congestion(
+    scenario: &Scenario,
+    call: &ActiveCall,
+    congested_until: &BTreeMap<u32, u64>,
+    now_ms: u64,
+) -> bool {
+    congested_until
+        .iter()
+        .any(|(&asn, &until)| until > now_ms && call_touches_asn(scenario, call, asn))
 }
 
 #[cfg(test)]
@@ -235,6 +462,68 @@ mod tests {
             m.join + m.close_set + m.publish + m.election + m.call
         );
         assert!(m.total() > 0);
+    }
+
+    fn faulty_sim() -> SimConfig {
+        SimConfig {
+            calls: 40,
+            surrogate_failures: 0,
+            faults: Some(FaultPlanConfig {
+                seed: 3,
+                surrogate_crash_per_tick: 0.02,
+                host_crash_per_tick: 0.02,
+                congestion_per_tick: 0.01,
+                drop_window_per_tick: 0.01,
+                stale_close_set_per_tick: 0.01,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic() {
+        let s = scenario();
+        let sim = faulty_sim();
+        let a = run(&s, AsapConfig::default(), &sim);
+        let b = run(&s, AsapConfig::default(), &sim);
+        assert_eq!(a, b, "same seed must reproduce the whole report");
+    }
+
+    #[test]
+    fn faults_exercise_recovery_without_losing_the_workload() {
+        let s = scenario();
+        let report = run(&s, AsapConfig::default(), &faulty_sim());
+        // The workload is fully accounted: every call either completed
+        // at setup or had no path; drops only come from the active set.
+        assert_eq!(report.calls_completed + report.calls_without_path, 40);
+        assert!(report.calls_completed > 0, "faults wiped out every call");
+        assert!(report.calls_dropped <= report.calls_completed);
+        // ~10 expected surrogate crashes over 540 ticks at 2%/tick: the
+        // recovery machinery must have actually run.
+        assert!(
+            report.recovery.re_elections > 0,
+            "no surrogate crash re-elected: {:?}",
+            report.recovery
+        );
+        assert!(report.failovers > 0);
+        // Every mid-call failover spent its re-ping.
+        assert!(report.recovery.recovery_messages >= 2 * report.midcall_failovers);
+    }
+
+    #[test]
+    fn healthy_run_reports_no_recovery() {
+        let s = scenario();
+        let sim = SimConfig {
+            surrogate_failures: 0,
+            faults: None,
+            ..Default::default()
+        };
+        let report = run(&s, AsapConfig::default(), &sim);
+        assert_eq!(report.recovery, RecoveryStats::default());
+        assert_eq!(report.midcall_failovers, 0);
+        assert_eq!(report.calls_dropped, 0);
+        assert_eq!(report.congestion_degraded_calls, 0);
     }
 
     #[test]

@@ -55,4 +55,4 @@ mod system;
 
 pub use config::AsapConfig;
 pub use selector::AsapSelector;
-pub use system::{AsapSystem, CallOutcome, SystemStats};
+pub use system::{AsapSystem, CallOutcome, ChosenPath, RecoveryStats, SystemStats};

@@ -82,6 +82,29 @@ impl CloseRelaySelection {
             (a, b) => a.or(b),
         }
     }
+
+    /// The selection with every candidate touching one of `dead_clusters`
+    /// removed — the cached candidate set a caller falls back on when its
+    /// relay dies mid-call, without re-running `select-close-relay()`.
+    pub fn excluding(&self, dead_clusters: &[ClusterId]) -> CloseRelaySelection {
+        let dead = |c: ClusterId| dead_clusters.contains(&c);
+        CloseRelaySelection {
+            one_hop: self
+                .one_hop
+                .iter()
+                .filter(|r| !dead(r.cluster))
+                .cloned()
+                .collect(),
+            two_hop: self
+                .two_hop
+                .iter()
+                .filter(|t| !dead(t.first) && !dead(t.second))
+                .cloned()
+                .collect(),
+            expanded_two_hop: self.expanded_two_hop,
+            messages: 0, // re-use of cached candidates costs no messages
+        }
+    }
 }
 
 /// Runs `select-close-relay()` from the caller's and callee's close

@@ -5,12 +5,36 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use asap_cluster::{Asn, ClusterId};
+use asap_netsim::faults::MessageDrops;
 use asap_workload::{HostId, Scenario};
 use parking_lot::Mutex;
 
 use crate::close_set::{construct_close_cluster_set, CloseClusterSet, ClusterIndex};
 use crate::config::AsapConfig;
 use crate::select::{select_close_relay, CloseRelaySelection};
+
+/// Counters of everything the system spent recovering from faults:
+/// dropped control messages, crashed surrogates, dead mid-call relays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Control requests that timed out (dropped request or reply).
+    pub timeouts: u64,
+    /// Requests re-sent after a timeout.
+    pub retries: u64,
+    /// Mid-call relay failovers performed.
+    pub failovers: u64,
+    /// Surrogate re-elections triggered by crashes or forced epochs.
+    pub re_elections: u64,
+    /// Cached close sets dropped because a referenced cluster's surrogate
+    /// epoch advanced.
+    pub cache_invalidations: u64,
+    /// Messages spent purely on recovery: wasted request/reply pairs,
+    /// re-election notifications, failover re-pings.
+    pub recovery_messages: u64,
+    /// Virtual milliseconds (the simulator's tick) spent waiting on
+    /// retry backoff before requests got through.
+    pub stabilization_ticks: u64,
+}
 
 /// Counters describing everything the system did since bootstrap.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +56,8 @@ pub struct SystemStats {
     pub session_messages: u64,
     /// Surrogate elections performed (bootstrap + failovers).
     pub elections: u64,
+    /// Everything spent recovering from injected faults.
+    pub recovery: RecoveryStats,
 }
 
 /// The outcome of one call placed through ASAP.
@@ -86,8 +112,22 @@ pub struct AsapSystem<'a> {
     surrogate_load: Mutex<std::collections::HashMap<(ClusterId, HostId), u64>>,
     /// Hosts marked offline (failed surrogates stay out of elections).
     offline: Mutex<Vec<bool>>,
-    close_sets: Mutex<HashMap<ClusterId, Arc<CloseClusterSet>>>,
+    /// Per-cluster surrogate epoch: advanced on every re-election (or
+    /// forced staleness), so cached close sets referencing the cluster
+    /// can tell they are out of date.
+    epochs: Mutex<Vec<u64>>,
+    close_sets: Mutex<HashMap<ClusterId, CachedCloseSet>>,
+    /// Injected control-message drop decider (None = healthy network).
+    message_faults: Mutex<Option<MessageDrops>>,
     stats: Mutex<SystemStats>,
+}
+
+/// A cached close cluster set plus the surrogate epochs of every cluster
+/// it references, snapshotted at construction time.
+#[derive(Debug)]
+struct CachedCloseSet {
+    deps: Vec<(ClusterId, u64)>,
+    set: Arc<CloseClusterSet>,
 }
 
 impl<'a> AsapSystem<'a> {
@@ -103,6 +143,7 @@ impl<'a> AsapSystem<'a> {
         config.validate().expect("invalid ASAP configuration");
         let index = ClusterIndex::build(scenario);
         let offline = vec![false; scenario.population.hosts().len()];
+        let cluster_count = scenario.population.clustering().cluster_count();
         let system = AsapSystem {
             scenario,
             config,
@@ -110,7 +151,9 @@ impl<'a> AsapSystem<'a> {
             surrogates: Mutex::new(Vec::new()),
             surrogate_load: Mutex::new(Default::default()),
             offline: Mutex::new(offline),
+            epochs: Mutex::new(vec![0; cluster_count]),
             close_sets: Mutex::new(HashMap::new()),
+            message_faults: Mutex::new(None),
             stats: Mutex::new(SystemStats::default()),
         };
         let clustering = scenario.population.clustering();
@@ -215,17 +258,92 @@ impl<'a> AsapSystem<'a> {
         online
     }
 
+    /// Whether `host` is currently online.
+    pub fn is_online(&self, host: HostId) -> bool {
+        !self.offline.lock()[host.0 as usize]
+    }
+
+    /// The current surrogate epoch of `cluster` (advances on every
+    /// re-election or forced staleness).
+    pub fn surrogate_epoch(&self, cluster: ClusterId) -> u64 {
+        self.epochs.lock()[cluster.0 as usize]
+    }
+
+    /// Installs (or clears) an injected control-message drop decider.
+    /// While set, close-set fetches may time out and go through the
+    /// [`AsapConfig::retry`] schedule.
+    pub fn set_message_faults(&self, faults: Option<MessageDrops>) {
+        *self.message_faults.lock() = faults;
+    }
+
     /// Handles a surrogate failure: marks the host offline, elects a
     /// replacement, and invalidates cached close sets (they may list the
     /// failed surrogate as a relay representative).
     pub fn fail_surrogate(&self, cluster: ClusterId) -> HostId {
         let old = self.surrogate_of(cluster);
-        self.offline.lock()[old.0 as usize] = true;
+        self.crash_host(old);
+        self.surrogate_of(cluster)
+    }
+
+    /// An ungraceful host departure. If the host was serving as one of
+    /// its cluster's surrogates, the cluster re-elects immediately, its
+    /// surrogate epoch advances, and every cached close set referencing
+    /// the cluster is dropped (instead of the sledgehammer of clearing
+    /// the whole cache). Returns `true` when a re-election happened.
+    pub fn crash_host(&self, host: HostId) -> bool {
+        {
+            let mut offline = self.offline.lock();
+            if offline[host.0 as usize] {
+                return false; // already down
+            }
+            offline[host.0 as usize] = true;
+        }
+        let cluster = self.scenario.population.cluster_of(host);
+        if !self.surrogates.lock()[cluster.0 as usize].contains(&host) {
+            return false;
+        }
         let new = self.elect(cluster);
-        let primary = new[0];
         self.surrogates.lock()[cluster.0 as usize] = new;
-        self.close_sets.lock().clear();
-        primary
+        self.bump_epoch(cluster);
+        let members = self.scenario.population.cluster_members(cluster).len() as u64;
+        let mut stats = self.stats.lock();
+        stats.recovery.re_elections += 1;
+        // Bootstrap notification (2 messages) plus one per member.
+        stats.recovery.recovery_messages += 2 + members;
+        true
+    }
+
+    /// Forces `cluster`'s close-set epoch stale — as if its surrogate set
+    /// rotated — so every cached close set referencing it rebuilds on
+    /// next use (the `StaleCloseSet` fault).
+    pub fn expire_close_set(&self, cluster: ClusterId) {
+        self.bump_epoch(cluster);
+    }
+
+    /// Advances `cluster`'s surrogate epoch and eagerly purges every
+    /// cached close set that references it, so no stale entry can ever
+    /// be served.
+    fn bump_epoch(&self, cluster: ClusterId) {
+        self.epochs.lock()[cluster.0 as usize] += 1;
+        let mut cache = self.close_sets.lock();
+        let before = cache.len();
+        cache.retain(|_, c| c.deps.iter().all(|&(cl, _)| cl != cluster));
+        let dropped = (before - cache.len()) as u64;
+        drop(cache);
+        if dropped > 0 {
+            self.stats.lock().recovery.cache_invalidations += dropped;
+        }
+    }
+
+    /// Whether every cached close set references only current-epoch
+    /// surrogate sets (validation hook for the robustness tests: with
+    /// eager purging this must hold at every moment).
+    pub fn cache_epoch_consistent(&self) -> bool {
+        let epochs = self.epochs.lock();
+        self.close_sets
+            .lock()
+            .values()
+            .all(|c| c.deps.iter().all(|&(cl, e)| epochs[cl.0 as usize] == e))
     }
 
     /// The join flow (steps 1–4 of Fig. 8): the host learns its ASN and
@@ -243,10 +361,26 @@ impl<'a> AsapSystem<'a> {
     }
 
     /// The close cluster set of `cluster`, constructing and caching it if
-    /// the surrogate has not built one yet.
+    /// the surrogate has not built one yet (or if the cached copy went
+    /// stale because a referenced cluster re-elected).
     pub fn close_set_of(&self, cluster: ClusterId) -> Arc<CloseClusterSet> {
-        if let Some(set) = self.close_sets.lock().get(&cluster) {
-            return Arc::clone(set);
+        {
+            let epochs = self.epochs.lock();
+            let mut cache = self.close_sets.lock();
+            if let Some(cached) = cache.get(&cluster) {
+                if cached
+                    .deps
+                    .iter()
+                    .all(|&(cl, e)| epochs[cl.0 as usize] == e)
+                {
+                    return Arc::clone(&cached.set);
+                }
+                // Defensive: eager purging should have removed it.
+                cache.remove(&cluster);
+                drop(cache);
+                drop(epochs);
+                self.stats.lock().recovery.cache_invalidations += 1;
+            }
         }
         let surrogates: Vec<Vec<HostId>> = self.surrogates.lock().clone();
         let set = Arc::new(construct_close_cluster_set(
@@ -260,11 +394,54 @@ impl<'a> AsapSystem<'a> {
         stats.close_sets_built += 1;
         stats.construction_messages += set.construction_messages;
         drop(stats);
-        self.close_sets
-            .lock()
-            .entry(cluster)
-            .or_insert_with(|| Arc::clone(&set));
+        // Snapshot the epochs of every referenced cluster; the entry dies
+        // with the first of them to advance.
+        let epochs = self.epochs.lock();
+        let mut deps = vec![(cluster, epochs[cluster.0 as usize])];
+        for entry in set.entries() {
+            deps.push((entry.cluster, epochs[entry.cluster.0 as usize]));
+        }
+        drop(epochs);
+        self.close_sets.lock().entry(cluster).or_insert(CachedCloseSet {
+            deps,
+            set: Arc::clone(&set),
+        });
         Arc::clone(&set)
+    }
+
+    /// Fetches a close cluster set over a possibly-faulty control plane:
+    /// each request/reply round trip can be dropped by the injected
+    /// [`MessageDrops`], in which case the requester times out, waits the
+    /// [`AsapConfig::retry`] backoff, and re-sends — bounded by
+    /// `max_retries`, after which it escalates to the cluster's replica
+    /// surrogate out of band (modeled as succeeding). Returns the set
+    /// plus the extra messages spent on dropped attempts.
+    fn fetch_close_set_recovering(
+        &self,
+        cluster: ClusterId,
+        requester: HostId,
+    ) -> (Arc<CloseClusterSet>, u64) {
+        let faults = *self.message_faults.lock();
+        let Some(faults) = faults else {
+            return (self.close_set_of(cluster), 0);
+        };
+        let retry = self.config.retry;
+        let mut extra = 0u64;
+        for attempt in 0..=retry.max_retries {
+            let key = (u64::from(requester.0) << 34)
+                ^ (u64::from(cluster.0) << 8)
+                ^ u64::from(attempt);
+            if !faults.drops(key) {
+                return (self.close_set_of(cluster), extra);
+            }
+            extra += 2; // the wasted request/reply pair
+            let mut stats = self.stats.lock();
+            stats.recovery.timeouts += 1;
+            stats.recovery.retries += 1;
+            stats.recovery.recovery_messages += 2;
+            stats.recovery.stabilization_ticks += retry.backoff_ms(attempt, key);
+        }
+        (self.close_set_of(cluster), extra)
     }
 
     /// Places a call (steps 5–10 of Fig. 8): ping the direct route; if it
@@ -300,8 +477,9 @@ impl<'a> AsapSystem<'a> {
 
         let caller_cluster = self.scenario.population.cluster_of(caller);
         let callee_cluster = self.scenario.population.cluster_of(callee);
-        let caller_set = self.close_set_of(caller_cluster);
-        let callee_set = self.close_set_of(callee_cluster);
+        let (caller_set, extra1) = self.fetch_close_set_recovering(caller_cluster, caller);
+        let (callee_set, extra2) = self.fetch_close_set_recovering(callee_cluster, caller);
+        messages += extra1 + extra2;
 
         let clustering = self.scenario.population.clustering();
         let cluster_size = |c: ClusterId| clustering.cluster(c).len() as u64;
@@ -318,7 +496,7 @@ impl<'a> AsapSystem<'a> {
         // "Comprehensively considering" the candidates: evaluate the top
         // few by true path RTT (their surrogates' measurements are
         // estimates) and keep the best.
-        let chosen = self.pick_best(caller, callee, &selection);
+        let chosen = self.pick_best(caller, callee, &selection, &[]);
 
         let mut stats = self.stats.lock();
         stats.relayed_calls += 1;
@@ -335,12 +513,14 @@ impl<'a> AsapSystem<'a> {
     }
 
     /// Evaluates the top candidates of a selection against the true
-    /// network and returns the best concrete path.
+    /// network and returns the best concrete path. Relays that are
+    /// offline or explicitly `dead` (known-failed mid-call) are skipped.
     fn pick_best(
         &self,
         caller: HostId,
         callee: HostId,
         selection: &CloseRelaySelection,
+        dead: &[HostId],
     ) -> Option<ChosenPath> {
         // All one-hop candidates are evaluated (their RTT estimates are
         // already on hand from the close sets, per the paper's
@@ -361,9 +541,15 @@ impl<'a> AsapSystem<'a> {
             }
         };
 
+        // Unmeasured loss means unusable, not perfect: default to 1.0
+        // everywhere, matching the direct-call site.
         for r in selection.one_hop.iter().take(one_hop_scan) {
             let relay = self.surrogate_of(r.cluster);
-            if relay == caller || relay == callee {
+            if relay == caller
+                || relay == callee
+                || dead.contains(&relay)
+                || !self.is_online(relay)
+            {
                 continue;
             }
             let path = self
@@ -375,7 +561,7 @@ impl<'a> AsapSystem<'a> {
                     loss: self
                         .scenario
                         .one_hop_loss(caller, relay, callee)
-                        .unwrap_or(0.0),
+                        .unwrap_or(1.0),
                 });
             consider(path);
         }
@@ -384,14 +570,21 @@ impl<'a> AsapSystem<'a> {
             if r1 == r2 || [r1, r2].contains(&caller) || [r1, r2].contains(&callee) {
                 continue;
             }
+            if dead.contains(&r1)
+                || dead.contains(&r2)
+                || !self.is_online(r1)
+                || !self.is_online(r2)
+            {
+                continue;
+            }
             let path = self
                 .scenario
                 .two_hop_rtt_ms(caller, r1, r2, callee)
                 .map(|rtt| {
                     let loss = {
-                        let l1 = self.scenario.host_loss(caller, r1).unwrap_or(0.0);
-                        let l2 = self.scenario.host_loss(r1, r2).unwrap_or(0.0);
-                        let l3 = self.scenario.host_loss(r2, callee).unwrap_or(0.0);
+                        let l1 = self.scenario.host_loss(caller, r1).unwrap_or(1.0);
+                        let l2 = self.scenario.host_loss(r1, r2).unwrap_or(1.0);
+                        let l3 = self.scenario.host_loss(r2, callee).unwrap_or(1.0);
                         1.0 - (1.0 - l1) * (1.0 - l2) * (1.0 - l3)
                     };
                     ChosenPath {
@@ -402,6 +595,46 @@ impl<'a> AsapSystem<'a> {
                 });
             consider(path);
         }
+        best
+    }
+
+    /// Mid-call relay failover: the call's relay died, so re-pick from
+    /// the *cached* candidate set (no new `select-close-relay()` run),
+    /// skipping `dead` hosts and any cluster whose surrogates are all
+    /// offline. Falls back to a two-hop pair, then to the direct path
+    /// even above `latT` — a degraded call beats a dropped one. Returns
+    /// `None` only when the pair is truly partitioned.
+    pub fn failover_path(
+        &self,
+        caller: HostId,
+        callee: HostId,
+        selection: &CloseRelaySelection,
+        dead: &[HostId],
+    ) -> Option<ChosenPath> {
+        // A cluster is only unusable when every surrogate is down — a
+        // crash of the primary redirects `surrogate_of` to the re-elected
+        // replacement automatically.
+        let dead_clusters: Vec<ClusterId> = dead
+            .iter()
+            .map(|&h| self.scenario.population.cluster_of(h))
+            .filter(|&c| self.surrogates_of(c).iter().all(|&s| !self.is_online(s)))
+            .collect();
+        let filtered = selection.excluding(&dead_clusters);
+        let mut best = self.pick_best(caller, callee, &filtered, dead);
+        if best.is_none() {
+            if let Some(rtt) = self.scenario.host_rtt_ms(caller, callee) {
+                best = Some(ChosenPath {
+                    relays: Vec::new(),
+                    rtt_ms: rtt,
+                    loss: self.scenario.host_loss(caller, callee).unwrap_or(1.0),
+                });
+            }
+        }
+        let mut stats = self.stats.lock();
+        stats.recovery.failovers += 1;
+        // Re-ping of the replacement path.
+        stats.recovery.recovery_messages += 2;
+        stats.session_messages += 2;
         best
     }
 }
@@ -575,17 +808,126 @@ mod tests {
             .id();
         let surrogates = system.surrogates_of(big);
         assert!(surrogates.len() >= 3);
-        for i in 0..60u32 {
+        // Scale requests with the surrogate count so every surrogate is
+        // reachable by the requester-hash spread regardless of cluster size.
+        let requests = surrogates.len() as u32 * 10;
+        for i in 0..requests {
             let _ = system.serving_surrogate(big, HostId(i));
         }
         for &sur in &surrogates {
             let load = system.surrogate_load(big, sur);
             assert!(load > 0, "surrogate {sur} served nothing");
             assert!(
-                load <= 60 / surrogates.len() as u64 + 1,
+                load <= requests as u64 / surrogates.len() as u64 + 1,
                 "surrogate {sur} overloaded: {load}"
             );
         }
+    }
+
+    #[test]
+    fn message_faults_cause_timeouts_but_calls_still_complete() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        system.set_message_faults(Some(asap_netsim::MessageDrops::new(0.9, 77)));
+        let sessions = sessions::generate(&s.population, 200, 9);
+        let mut relayed = 0;
+        for sess in &sessions {
+            let out = system.call(sess.caller, sess.callee);
+            if !out.used_direct {
+                relayed += 1;
+            }
+        }
+        if relayed == 0 {
+            return; // tiny worlds occasionally have no slow session
+        }
+        let rec = system.stats().recovery;
+        // 90% drop probability over many fetches must hit some timeouts,
+        // and every timeout is accounted as retries + messages + waiting.
+        assert!(rec.timeouts > 0);
+        assert_eq!(rec.retries, rec.timeouts);
+        assert_eq!(rec.recovery_messages, rec.timeouts * 2);
+        assert!(rec.stabilization_ticks > 0);
+    }
+
+    #[test]
+    fn failover_avoids_dead_relay_and_offline_hosts() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let slow = sessions::generate(&s.population, 3000, 2)
+            .into_iter()
+            .find(|x| s.host_rtt_ms(x.caller, x.callee).is_some_and(|r| r > 300.0));
+        let Some(slow) = slow else {
+            return; // tiny worlds occasionally have no latent session
+        };
+        let out = system.call(slow.caller, slow.callee);
+        let Some(selection) = out.selection else {
+            return;
+        };
+        let Some(chosen) = out.chosen else {
+            return;
+        };
+        let Some(&dead_relay) = chosen.relays.first() else {
+            return;
+        };
+        system.crash_host(dead_relay);
+        let replacement =
+            system.failover_path(slow.caller, slow.callee, &selection, &[dead_relay]);
+        let path = replacement.expect("failover finds some path (direct at worst)");
+        assert!(
+            !path.relays.contains(&dead_relay),
+            "failover re-picked the dead relay"
+        );
+        for r in &path.relays {
+            assert!(system.is_online(*r), "failover picked an offline relay");
+        }
+        let rec = system.stats().recovery;
+        assert_eq!(rec.failovers, 1);
+        assert!(rec.recovery_messages >= 2);
+    }
+
+    #[test]
+    fn crashing_non_surrogate_does_not_re_elect() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let cluster = s
+            .population
+            .clustering()
+            .clusters()
+            .iter()
+            .find(|c| c.len() >= 2)
+            .expect("some multi-member cluster")
+            .id();
+        let surrogate = system.surrogate_of(cluster);
+        let bystander = *s
+            .population
+            .cluster_members(cluster)
+            .iter()
+            .find(|&&h| h != surrogate)
+            .unwrap();
+        let epoch_before = system.surrogate_epoch(cluster);
+        assert!(!system.crash_host(bystander));
+        assert_eq!(system.surrogate_of(cluster), surrogate);
+        assert_eq!(system.surrogate_epoch(cluster), epoch_before);
+        assert!(!system.is_online(bystander));
+        // Crashing the same host twice is a no-op.
+        assert!(!system.crash_host(bystander));
+    }
+
+    #[test]
+    fn epoch_bump_purges_dependent_cache_entries() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let c = s.population.clustering().clusters()[0].id();
+        let set = system.close_set_of(c);
+        assert!(system.cache_epoch_consistent());
+        // Expire some cluster the set references (or the home cluster).
+        let target = set.entries().first().map_or(c, |e| e.cluster);
+        system.expire_close_set(target);
+        assert!(system.cache_epoch_consistent());
+        assert!(system.stats().recovery.cache_invalidations >= 1);
+        // Rebuild sees the new epoch and is consistent again.
+        let _ = system.close_set_of(c);
+        assert!(system.cache_epoch_consistent());
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property-based tests of the fault-recovery invariants.
+//!
+//! Whatever sequence of crashes, forced-stale epochs, and close-set
+//! fetches hits the system:
+//!
+//! 1. a cluster with at least one online member never has an offline
+//!    surrogate (re-election is immediate and complete);
+//! 2. every cluster always has a non-empty surrogate list (the protocol
+//!    never loses a cluster's representative entirely);
+//! 3. no cached close set outlives the surrogate epoch of any cluster it
+//!    references (eager purging means the cache can never serve stale
+//!    relay representatives).
+
+use std::sync::OnceLock;
+
+use asap_cluster::ClusterId;
+use asap_core::{AsapConfig, AsapSystem};
+use asap_workload::{HostId, Scenario, ScenarioConfig};
+use proptest::prelude::*;
+
+fn scenario() -> &'static Scenario {
+    static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| Scenario::build(ScenarioConfig::tiny(), 23))
+}
+
+/// One randomized action against the running system.
+fn apply(system: &AsapSystem<'_>, x: u32, action: u8) {
+    let s = system.scenario();
+    let hosts = s.population.hosts().len() as u32;
+    let clusters = s.population.clustering().cluster_count() as u32;
+    match action % 4 {
+        0 => {
+            system.crash_host(HostId(x % hosts));
+        }
+        1 => {
+            system.expire_close_set(ClusterId(x % clusters));
+        }
+        2 => {
+            let _ = system.close_set_of(ClusterId(x % clusters));
+        }
+        _ => {
+            system.fail_surrogate(ClusterId(x % clusters));
+        }
+    }
+}
+
+fn check_invariants(system: &AsapSystem<'_>) -> Result<(), TestCaseError> {
+    let s = system.scenario();
+    for c in s.population.clustering().clusters() {
+        let surrogates = system.surrogates_of(c.id());
+        prop_assert!(
+            !surrogates.is_empty(),
+            "cluster {:?} lost every surrogate",
+            c.id()
+        );
+        let members = s.population.cluster_members(c.id());
+        if members.iter().any(|&h| system.is_online(h)) {
+            for sur in &surrogates {
+                prop_assert!(
+                    system.is_online(*sur),
+                    "cluster {:?} has an online member but offline surrogate {sur}",
+                    c.id()
+                );
+            }
+        }
+    }
+    prop_assert!(
+        system.cache_epoch_consistent(),
+        "a cached close set outlived a referenced surrogate epoch"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn recovery_invariants_hold_under_arbitrary_churn(
+        ops in proptest::collection::vec((any::<u32>(), any::<u8>()), 0..40)
+    ) {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(s, AsapConfig::default());
+        check_invariants(&system)?;
+        for (x, action) in ops {
+            apply(&system, x, action);
+            check_invariants(&system)?;
+        }
+    }
+
+    #[test]
+    fn crashed_surrogates_never_serve_again(
+        crashes in proptest::collection::vec(any::<u32>(), 1..30)
+    ) {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(s, AsapConfig::default());
+        let hosts = s.population.hosts().len() as u32;
+        for x in crashes {
+            let victim = HostId(x % hosts);
+            system.crash_host(victim);
+            let cluster = s.population.cluster_of(victim);
+            let members = s.population.cluster_members(cluster);
+            if members.iter().any(|&h| system.is_online(h)) {
+                prop_assert!(
+                    !system.surrogates_of(cluster).contains(&victim),
+                    "crashed {victim} still listed as surrogate"
+                );
+            }
+        }
+        check_invariants(&system)?;
+    }
+}

@@ -28,9 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod events;
+pub mod faults;
 pub mod king;
 mod model;
 
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, MessageDrops, RetryPolicy};
 pub use model::{AsCondition, NetConfig, NetModel};
 
 /// One-way packet forwarding delay added by an application-layer relay

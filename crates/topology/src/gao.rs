@@ -103,9 +103,9 @@ pub fn infer(paths: &[Vec<Asn>], config: &GaoConfig) -> Inference {
         for i in 0..path.len() - 1 {
             let (a, b) = (path[i], path[i + 1]);
             let k = key(a, b);
-            if !not_peering.contains_key(&k) {
+            if let std::collections::hash_map::Entry::Vacant(e) = not_peering.entry(k) {
                 seen_edges.push(k);
-                not_peering.insert(k, false);
+                e.insert(false);
             }
             if i + 1 < top || i > top {
                 // Not adjacent to the top provider: cannot be peering.

@@ -90,12 +90,12 @@ pub fn candidate_paths(
         scenario.host_rtt_ms(session.caller, session.callee),
         scenario.host_loss(session.caller, session.callee),
     ) {
-        paths.push(CandidatePath {
-            label: "direct".to_owned(),
-            base_one_way_ms: rtt / 2.0,
-            base_loss: loss,
-            dynamics: PathDynamics::sample(&[], call.duration_ms, dynamics),
-        });
+        paths.push(CandidatePath::new(
+            "direct".to_owned(),
+            rtt / 2.0,
+            loss,
+            PathDynamics::sample(&[], call.duration_ms, dynamics),
+        ));
     }
     // Run select-close-relay() unconditionally: even when the direct path
     // is currently fine, the standby relays are what switching and
@@ -123,12 +123,12 @@ pub fn candidate_paths(
             ) else {
                 continue;
             };
-            paths.push(CandidatePath {
-                label: format!("via {relay}"),
-                base_one_way_ms: rtt / 2.0,
-                base_loss: loss,
-                dynamics: PathDynamics::sample(&[relay], call.duration_ms, dynamics),
-            });
+            paths.push(CandidatePath::new(
+                format!("via {relay}"),
+                rtt / 2.0,
+                loss,
+                PathDynamics::sample(&[relay], call.duration_ms, dynamics),
+            ));
         }
     }
     paths
@@ -234,11 +234,11 @@ mod tests {
         episodes_per_minute: f64,
         seed: u64,
     ) -> CandidatePath {
-        CandidatePath {
-            label: label.to_owned(),
-            base_one_way_ms: one_way,
-            base_loss: loss,
-            dynamics: PathDynamics::sample(
+        CandidatePath::new(
+            label.to_owned(),
+            one_way,
+            loss,
+            PathDynamics::sample(
                 &[asap_workload::HostId(seed as u32)],
                 180_000,
                 &DynamicsConfig {
@@ -247,7 +247,7 @@ mod tests {
                     ..Default::default()
                 },
             ),
-        }
+        )
     }
 
     #[test]
@@ -282,11 +282,11 @@ mod tests {
         for seed in 0..6u64 {
             let mk = || {
                 vec![
-                    CandidatePath {
-                        label: "flappy".into(),
-                        base_one_way_ms: 50.0,
-                        base_loss: 0.005,
-                        dynamics: PathDynamics::sample(
+                    CandidatePath::new(
+                        "flappy".into(),
+                        50.0,
+                        0.005,
+                        PathDynamics::sample(
                             &[asap_workload::HostId(1)],
                             180_000,
                             &DynamicsConfig {
@@ -297,7 +297,7 @@ mod tests {
                                 ..Default::default()
                             },
                         ),
-                    },
+                    ),
                     path("stable", 80.0, 0.005, 0.0, 100 + seed),
                 ]
             };
@@ -338,6 +338,39 @@ mod tests {
         );
         assert!(dual_loss < 0.03, "dual loss {dual_loss}");
         assert!(dual.mean_mos > single.mean_mos);
+    }
+
+    #[test]
+    fn switching_recovers_mos_after_relay_outage() {
+        // The active relay path dies outright at 60 s (relay crash). The
+        // static sender stays on the corpse and the call is ruined; the
+        // switching sender detects the loss wall, moves to the standby,
+        // and the tail of the call recovers to healthy quality.
+        let mk = || {
+            let mut dead = path("dying-relay", 50.0, 0.005, 0.0, 21);
+            dead.outage_at_ms = Some(60_000);
+            vec![dead, path("standby", 80.0, 0.005, 0.0, 22)]
+        };
+        let st = simulate_with_paths(mk(), Policy::Static, &CallConfig::default());
+        let sw = simulate_with_paths(mk(), Policy::Switching, &CallConfig::default());
+        assert!(
+            !sw.switches.is_empty(),
+            "switching never failed over off the dead path"
+        );
+        assert!(sw.switches[0].at_ms >= 60_000, "switched before the outage");
+        assert_eq!(sw.switches[0].to_path, 1);
+        // Degraded-then-recovered: the last window is healthy again...
+        let last = sw.windows.last().unwrap();
+        assert!(last.mos > 3.5, "tail never recovered: MOS {}", last.mos);
+        // ...while the dip around the outage really happened.
+        assert!(sw.min_mos < last.mos);
+        // Static rode the dead path down instead.
+        assert!(
+            sw.mean_mos > st.mean_mos + 0.5,
+            "switching {} vs static {}",
+            sw.mean_mos,
+            st.mean_mos
+        );
     }
 
     #[test]

@@ -28,11 +28,29 @@ pub struct CandidatePath {
     pub base_loss: f64,
     /// The path's mid-call dynamics.
     pub dynamics: PathDynamics,
+    /// If set, the path dies outright at this call time (its relay
+    /// crashed): every packet sent at or after it is lost until a policy
+    /// moves the call elsewhere.
+    pub outage_at_ms: Option<u64>,
 }
 
 impl CandidatePath {
+    /// A path with no scheduled outage.
+    pub fn new(label: String, base_one_way_ms: f64, base_loss: f64, dynamics: PathDynamics) -> Self {
+        CandidatePath {
+            label,
+            base_one_way_ms,
+            base_loss,
+            dynamics,
+            outage_at_ms: None,
+        }
+    }
+
     /// The fate of packet `seq` sent at `send_ms` over this path.
     pub fn fate(&self, seq: u64, send_ms: u64, config: &StreamConfig) -> PacketFate {
+        if self.outage_at_ms.is_some_and(|t| send_ms >= t) {
+            return PacketFate::Lost;
+        }
         packet_fate(
             seq,
             send_ms,

@@ -4,8 +4,9 @@
 
 use std::sync::Arc;
 
-use asap_cluster::ClusterId;
-use asap_netsim::{NetConfig, NetModel, RELAY_DELAY_RTT_MS};
+use asap_cluster::{Asn, ClusterId};
+use asap_netsim::faults::FaultKind;
+use asap_netsim::{AsCondition, NetConfig, NetModel, RELAY_DELAY_RTT_MS};
 use asap_topology::{InternetConfig, InternetGenerator, SyntheticInternet};
 
 use crate::population::{HostId, Population, PopulationConfig};
@@ -171,6 +172,54 @@ impl Scenario {
     pub fn cluster_count(&self) -> usize {
         self.population.clustering().cluster_count()
     }
+
+    /// Starts a transient congestion burst inside `asn`: every route
+    /// crossing it pays the extra RTT and loss until
+    /// [`Scenario::clear_as_condition`] heals it. No-op (returning
+    /// `false`) when the AS is not in the topology.
+    pub fn apply_as_congestion(&mut self, asn: Asn, added_rtt_ms: f64, added_loss: f64) -> bool {
+        if self.net.internet().graph.index_of(asn).is_none() {
+            return false;
+        }
+        self.net.set_condition(
+            asn,
+            AsCondition::Congested {
+                added_rtt_ms,
+                added_loss,
+            },
+        );
+        true
+    }
+
+    /// Heals `asn` back to [`AsCondition::Healthy`]. No-op (returning
+    /// `false`) when the AS is not in the topology.
+    pub fn clear_as_condition(&mut self, asn: Asn) -> bool {
+        if self.net.internet().graph.index_of(asn).is_none() {
+            return false;
+        }
+        self.net.set_condition(asn, AsCondition::Healthy);
+        true
+    }
+
+    /// Applies a scheduled fault to the live network model, for
+    /// owned-scenario experiment drivers. Only network-level faults
+    /// change anything here ([`FaultKind::AsCongestion`]); host- and
+    /// protocol-level faults (crashes, message drops, stale epochs)
+    /// belong to the protocol runtime and return `false` untouched.
+    pub fn apply_fault(&mut self, kind: &FaultKind) -> bool {
+        match *kind {
+            FaultKind::AsCongestion {
+                asn,
+                added_rtt_ms,
+                added_loss,
+                ..
+            } => self.apply_as_congestion(Asn(asn), added_rtt_ms, added_loss),
+            FaultKind::SurrogateCrash { .. }
+            | FaultKind::HostCrash { .. }
+            | FaultKind::MessageDropWindow { .. }
+            | FaultKind::StaleCloseSet { .. } => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +270,43 @@ mod tests {
         let (l1, l2) = (s.host_loss(a, r).unwrap(), s.host_loss(r, b).unwrap());
         assert!(composed >= l1.max(l2));
         assert!(composed <= l1 + l2 + 1e-12);
+    }
+
+    #[test]
+    fn congestion_fault_inflates_and_heals() {
+        let mut s = scenario();
+        let hosts = s.population.hosts();
+        // Two hosts in different ASes, routable.
+        let a = hosts[0].id;
+        let b = hosts
+            .iter()
+            .find(|h| {
+                h.asn != s.population.host(a).asn && s.host_rtt_ms(a, h.id).is_some()
+            })
+            .expect("a routable cross-AS pair")
+            .id;
+        let asn = s.population.host(a).asn;
+        let before = s.host_rtt_ms(a, b).unwrap();
+        // Make sure we start from a healthy AS so before/after compare.
+        assert!(s.clear_as_condition(asn));
+        let baseline = s.host_rtt_ms(a, b).unwrap();
+        let fault = FaultKind::AsCongestion {
+            asn: asn.0,
+            added_rtt_ms: 250.0,
+            added_loss: 0.2,
+            duration_ms: 30_000,
+        };
+        assert!(s.apply_fault(&fault));
+        let congested = s.host_rtt_ms(a, b).unwrap();
+        assert!(
+            congested >= baseline + 250.0 - 1e-9,
+            "congestion did not inflate: {baseline} → {congested}"
+        );
+        assert!(s.clear_as_condition(asn));
+        assert_eq!(s.host_rtt_ms(a, b).unwrap(), baseline);
+        // Protocol-level faults leave the network model alone.
+        assert!(!s.apply_fault(&FaultKind::HostCrash { host: 0 }));
+        let _ = before;
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Fault-recovery across the whole stack: mid-call relay death with
+//! failover from the cached candidate set, and the fault-driven
+//! event simulation's determinism and survival guarantees.
+
+use asap::core::events::{run, SimConfig};
+use asap::netsim::faults::FaultPlanConfig;
+use asap::prelude::*;
+
+fn scenario() -> Scenario {
+    Scenario::build(ScenarioConfig::tiny(), 404)
+}
+
+#[test]
+fn midcall_relay_crash_fails_over_without_panic() {
+    let s = scenario();
+    let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+    // Find a relayed call.
+    let relayed = sessions::generate(&s.population, 3_000, 8)
+        .into_iter()
+        .filter_map(|sess| {
+            let out = system.call(sess.caller, sess.callee);
+            let chosen = out.chosen.clone()?;
+            let relay = *chosen.relays.first()?;
+            Some((sess, out, relay))
+        })
+        .next();
+    let Some((sess, out, relay)) = relayed else {
+        eprintln!("no relayed call in this tiny world — vacuous pass");
+        return;
+    };
+    let selection = out.selection.expect("relayed calls carry a selection");
+    let messages_before = system.stats().recovery.recovery_messages;
+
+    // The relay dies mid-call.
+    system.crash_host(relay);
+    let path = system.failover_path(sess.caller, sess.callee, &selection, &[relay]);
+
+    let path = path.expect("failover finds some path (direct at worst)");
+    assert!(
+        !path.relays.contains(&relay),
+        "failover re-picked the crashed relay"
+    );
+    let recovery = system.stats().recovery;
+    assert_eq!(recovery.failovers, 1);
+    assert!(
+        recovery.recovery_messages >= messages_before + 2,
+        "failover re-ping was not accounted: {recovery:?}"
+    );
+}
+
+#[test]
+fn fault_driven_simulation_is_deterministic() {
+    let s = scenario();
+    let sim = SimConfig {
+        calls: 60,
+        surrogate_failures: 0,
+        faults: Some(FaultPlanConfig {
+            seed: 9,
+            surrogate_crash_per_tick: 0.01,
+            host_crash_per_tick: 0.01,
+            congestion_per_tick: 0.005,
+            drop_window_per_tick: 0.005,
+            stale_close_set_per_tick: 0.005,
+            ..Default::default()
+        }),
+        seed: 9,
+        ..Default::default()
+    };
+    let a = run(&s, AsapConfig::default(), &sim);
+    let b = run(&s, AsapConfig::default(), &sim);
+    assert_eq!(a, b, "same seed must reproduce the whole report");
+}
+
+#[test]
+fn calls_survive_one_percent_crash_rate() {
+    let s = scenario();
+    let mut completed = 0u64;
+    let mut dropped = 0u64;
+    for seed in 0..5u64 {
+        let sim = SimConfig {
+            calls: 100,
+            surrogate_failures: 0,
+            faults: Some(FaultPlanConfig {
+                seed,
+                surrogate_crash_per_tick: 0.01,
+                host_crash_per_tick: 0.01,
+                ..Default::default()
+            }),
+            seed,
+            ..Default::default()
+        };
+        let report = run(&s, AsapConfig::default(), &sim);
+        completed += report.calls_completed;
+        dropped += report.calls_dropped;
+    }
+    assert!(completed > 0, "no call completed at all");
+    let survival = (completed - dropped) as f64 / completed as f64;
+    assert!(
+        survival >= 0.99,
+        "only {survival:.4} of calls survived 1%/tick crashes ({dropped}/{completed} dropped)"
+    );
+}
