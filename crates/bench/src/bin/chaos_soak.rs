@@ -1,0 +1,64 @@
+//! Chaos soak — the robustness acceptance gate.
+//!
+//! Drives one long seed-reproducible schedule of churn (announced *and*
+//! silent crashes), AS partitions, congestion bursts, and message-drop
+//! windows through the event simulation, with the full membership stack
+//! live: phi-accrual suspicion, replica-set warm handoff, and the
+//! graceful-degradation ladder. At the end it checks the four soak
+//! invariants:
+//!
+//! 1. no call was routed through a relay the suspicion detector had
+//!    already declared dead;
+//! 2. every degraded call had an excuse (an active fault) — degradation
+//!    is a response, never a steady state;
+//! 3. every session terminated inside the simulated window;
+//! 4. after all faults healed, no cluster was left with an unusable
+//!    control plane (nobody is permanently stuck down the ladder).
+//!
+//! The run prints a human table, then one JSON line; the process exits
+//! nonzero if any invariant is violated. Two runs with the same `--seed`
+//! produce byte-identical JSON.
+
+use asap_bench::experiments::{chaos_soak, json_lines};
+use asap_bench::{row, section, Args, Scale};
+
+fn main() {
+    let args = Args::parse(Scale::Tiny);
+    let scenario = args.scenario();
+    let report = chaos_soak(&scenario, args.seed, args.sessions);
+
+    section("chaos soak: churn + partition schedule");
+    row(&[&"metric", &"value"]);
+    row(&[&"sessions", &report.sessions]);
+    row(&[&"completed", &report.calls_completed]);
+    row(&[&"dropped", &report.calls_dropped]);
+    row(&[&"midcall failovers", &report.midcall_failovers]);
+    row(&[&"partitions", &report.partitions]);
+    row(&[&"partition drops", &report.partition_dropped_calls]);
+    row(&[&"degraded calls", &report.degraded_calls]);
+    row(&[&"stale sets served", &report.stale_sets_served]);
+    row(&[&"probe fallbacks", &report.probe_fallbacks]);
+    row(&[&"forced direct", &report.forced_direct]);
+    row(&[&"warm handoffs", &report.warm_handoffs]);
+    row(&[&"cold re-elections", &report.re_elections]);
+    row(&[&"suspected dead", &report.suspected_dead]);
+    row(&[&"ladder downgrades", &report.downgrades]);
+    row(&[&"ladder recoveries", &report.ladder_recoveries]);
+
+    section("invariants (must all be 0)");
+    row(&[&"dead-relay calls", &report.dead_relay_calls]);
+    row(&[&"unexcused degraded", &report.unexcused_degraded_calls]);
+    row(&[&"unterminated calls", &report.unterminated_calls]);
+    row(&[&"stuck clusters", &report.stuck_clusters]);
+
+    section("json");
+    print!("{}", json_lines(std::slice::from_ref(&report)));
+
+    if report.violations() > 0 {
+        eprintln!(
+            "chaos soak FAILED: {} invariant violation(s)",
+            report.violations()
+        );
+        std::process::exit(1);
+    }
+}

@@ -10,37 +10,16 @@
 //! * how many calls completed, were dropped mid-call, or failed over;
 //! * the relayed-call survival ratio (the headline robustness number:
 //!   at 1%/tick crash rate it must stay ≥ 99%);
-//! * what recovery cost: re-elections, retries, cache invalidations,
-//!   recovery messages, and backoff wait (stabilization) time.
+//! * what recovery cost: warm handoffs vs cold re-elections, retries,
+//!   cache invalidations, recovery messages, and backoff wait
+//!   (stabilization) time.
 //!
 //! One JSON line per sweep point goes to stdout after the human table,
-//! so runs can be diffed; the whole run is deterministic in `--seed`.
+//! so runs can be diffed; the whole run is deterministic in `--seed`
+//! (see `tests/determinism.rs`, which pins that down).
 
+use asap_bench::experiments::{fault_recovery_sweep, json_lines};
 use asap_bench::{row, section, Args, Scale};
-use asap_core::events::{run, SimConfig};
-use asap_core::AsapConfig;
-use asap_netsim::faults::FaultPlanConfig;
-use serde::Serialize;
-
-/// One sweep point of the crash-rate experiment.
-#[derive(Debug, Serialize)]
-struct FaultRecoveryRow {
-    experiment: String,
-    seed: u64,
-    crash_rate_per_tick: f64,
-    calls: u64,
-    calls_completed: u64,
-    calls_without_path: u64,
-    calls_dropped: u64,
-    midcall_failovers: u64,
-    survival: f64,
-    re_elections: u64,
-    timeouts: u64,
-    retries: u64,
-    cache_invalidations: u64,
-    recovery_messages: u64,
-    stabilization_ticks: u64,
-}
 
 fn main() {
     let args = Args::parse(Scale::Tiny);
@@ -48,7 +27,8 @@ fn main() {
     // Bound the call count: each call can be failed over many times under
     // heavy churn, and 5 sweep points share one process.
     let calls = args.sessions.min(1_000);
-    let rates = [0.0, 0.002, 0.005, 0.01, 0.02];
+
+    let rows = fault_recovery_sweep(&scenario, args.seed, calls);
 
     section("fault recovery: crash-rate sweep");
     row(&[
@@ -57,66 +37,25 @@ fn main() {
         &"dropped",
         &"failovers",
         &"survival",
+        &"warm",
         &"re-elect",
         &"retries",
         &"rec-msgs",
     ]);
-
-    let mut rows = Vec::new();
-    for &rate in &rates {
-        let sim = SimConfig {
-            calls,
-            surrogate_failures: 0,
-            faults: Some(FaultPlanConfig {
-                seed: args.seed,
-                surrogate_crash_per_tick: rate,
-                host_crash_per_tick: rate,
-                congestion_per_tick: 0.002,
-                drop_window_per_tick: 0.002,
-                stale_close_set_per_tick: 0.002,
-                ..Default::default()
-            }),
-            seed: args.seed,
-            ..Default::default()
-        };
-        let report = run(&scenario, AsapConfig::default(), &sim);
-        let survival = if report.calls_completed > 0 {
-            (report.calls_completed - report.calls_dropped) as f64
-                / report.calls_completed as f64
-        } else {
-            1.0
-        };
+    for r in &rows {
         row(&[
-            &format!("{rate:.3}"),
-            &report.calls_completed,
-            &report.calls_dropped,
-            &report.midcall_failovers,
-            &format!("{survival:.4}"),
-            &report.recovery.re_elections,
-            &report.recovery.retries,
-            &report.recovery.recovery_messages,
+            &format!("{:.3}", r.crash_rate_per_tick),
+            &r.calls_completed,
+            &r.calls_dropped,
+            &r.midcall_failovers,
+            &format!("{:.4}", r.survival),
+            &r.warm_handoffs,
+            &r.re_elections,
+            &r.retries,
+            &r.recovery_messages,
         ]);
-        rows.push(FaultRecoveryRow {
-            experiment: "fault_recovery".to_owned(),
-            seed: args.seed,
-            crash_rate_per_tick: rate,
-            calls: calls as u64,
-            calls_completed: report.calls_completed,
-            calls_without_path: report.calls_without_path,
-            calls_dropped: report.calls_dropped,
-            midcall_failovers: report.midcall_failovers,
-            survival,
-            re_elections: report.recovery.re_elections,
-            timeouts: report.recovery.timeouts,
-            retries: report.recovery.retries,
-            cache_invalidations: report.recovery.cache_invalidations,
-            recovery_messages: report.recovery.recovery_messages,
-            stabilization_ticks: report.recovery.stabilization_ticks,
-        });
     }
 
     section("json");
-    for r in &rows {
-        println!("{}", serde_json::to_string(r).expect("row serializes"));
-    }
+    print!("{}", json_lines(&rows));
 }

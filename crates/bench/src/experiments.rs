@@ -1,0 +1,272 @@
+//! Reusable experiment drivers shared by the robustness binaries.
+//!
+//! The `fault_recovery` and `chaos_soak` binaries and the determinism
+//! regression test all need the *same* simulation schedule, so the
+//! schedule lives here once: a caller hands in a scenario, a seed, and a
+//! size, and gets back serializable rows. Two calls with equal inputs
+//! must produce byte-identical JSON — that property is what the
+//! determinism test pins down.
+
+use asap_core::events::{run, SimConfig, SimReport};
+use asap_core::AsapConfig;
+use asap_netsim::faults::FaultPlanConfig;
+use asap_workload::Scenario;
+use serde::Serialize;
+
+/// One sweep point of the crash-rate experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultRecoveryRow {
+    /// Constant `"fault_recovery"` so mixed JSON streams stay greppable.
+    pub experiment: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Per-tick surrogate/host crash probability at this sweep point.
+    pub crash_rate_per_tick: f64,
+    /// Calls scheduled.
+    pub calls: u64,
+    /// Calls that completed (direct or relayed).
+    pub calls_completed: u64,
+    /// Calls with no route at all.
+    pub calls_without_path: u64,
+    /// Active calls torn down with no replacement path.
+    pub calls_dropped: u64,
+    /// Mid-call relay failovers that found a replacement path.
+    pub midcall_failovers: u64,
+    /// Relayed-call survival ratio (headline robustness number).
+    pub survival: f64,
+    /// Warm standby promotions (quorum held; no cold re-election).
+    pub warm_handoffs: u64,
+    /// Cold re-elections (quorum lost or no usable standby).
+    pub re_elections: u64,
+    /// Replica members demoted by the suspicion detector.
+    pub suspected_dead: u64,
+    /// Calls served below the full protocol.
+    pub degraded_calls: u64,
+    /// Request timeouts observed.
+    pub timeouts: u64,
+    /// Request retries performed.
+    pub retries: u64,
+    /// Cached close sets purged by epoch bumps.
+    pub cache_invalidations: u64,
+    /// Extra control messages spent on recovery.
+    pub recovery_messages: u64,
+    /// Virtual ms spent waiting out retry backoff.
+    pub stabilization_ticks: u64,
+}
+
+/// The crash rates swept by the fault-recovery experiment.
+pub const FAULT_RECOVERY_RATES: [f64; 5] = [0.0, 0.002, 0.005, 0.01, 0.02];
+
+/// Runs the crash-rate sweep and returns one row per rate.
+///
+/// Deterministic: equal `(scenario, seed, calls)` inputs produce equal
+/// rows, and [`json_lines`] of equal rows is byte-identical.
+pub fn fault_recovery_sweep(scenario: &Scenario, seed: u64, calls: usize) -> Vec<FaultRecoveryRow> {
+    FAULT_RECOVERY_RATES
+        .iter()
+        .map(|&rate| {
+            let sim = SimConfig {
+                calls,
+                surrogate_failures: 0,
+                faults: Some(FaultPlanConfig {
+                    seed,
+                    surrogate_crash_per_tick: rate,
+                    host_crash_per_tick: rate,
+                    congestion_per_tick: 0.002,
+                    drop_window_per_tick: 0.002,
+                    stale_close_set_per_tick: 0.002,
+                    ..Default::default()
+                }),
+                seed,
+                ..Default::default()
+            };
+            let report = run(scenario, AsapConfig::default(), &sim);
+            let survival = if report.calls_completed > 0 {
+                (report.calls_completed - report.calls_dropped) as f64
+                    / report.calls_completed as f64
+            } else {
+                1.0
+            };
+            FaultRecoveryRow {
+                experiment: "fault_recovery".to_owned(),
+                seed,
+                crash_rate_per_tick: rate,
+                calls: calls as u64,
+                calls_completed: report.calls_completed,
+                calls_without_path: report.calls_without_path,
+                calls_dropped: report.calls_dropped,
+                midcall_failovers: report.midcall_failovers,
+                survival,
+                warm_handoffs: report.recovery.warm_handoffs,
+                re_elections: report.recovery.re_elections,
+                suspected_dead: report.recovery.suspected_dead,
+                degraded_calls: report.degraded_calls,
+                timeouts: report.recovery.timeouts,
+                retries: report.recovery.retries,
+                cache_invalidations: report.recovery.cache_invalidations,
+                recovery_messages: report.recovery.recovery_messages,
+                stabilization_ticks: report.recovery.stabilization_ticks,
+            }
+        })
+        .collect()
+}
+
+/// Summary of one chaos-soak run: churn + AS partitions under a
+/// bounded-call schedule, with the four robustness invariants counted.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosSoakReport {
+    /// Constant `"chaos_soak"`.
+    pub experiment: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Sessions scheduled.
+    pub sessions: u64,
+    /// Calls that completed (direct or relayed).
+    pub calls_completed: u64,
+    /// Calls with no route at all.
+    pub calls_without_path: u64,
+    /// Active calls torn down with no replacement path.
+    pub calls_dropped: u64,
+    /// Mid-call relay failovers that found a replacement path.
+    pub midcall_failovers: u64,
+    /// AS partitions applied.
+    pub partitions: u64,
+    /// Active calls torn down because an endpoint AS was partitioned.
+    pub partition_dropped_calls: u64,
+    /// Calls served below the full protocol.
+    pub degraded_calls: u64,
+    /// Stale-close-set rung servings.
+    pub stale_sets_served: u64,
+    /// Calls that fell to MIX-style random probing.
+    pub probe_fallbacks: u64,
+    /// Calls forced onto the bare direct path.
+    pub forced_direct: u64,
+    /// Warm standby promotions.
+    pub warm_handoffs: u64,
+    /// Cold re-elections.
+    pub re_elections: u64,
+    /// Replica members demoted by the suspicion detector.
+    pub suspected_dead: u64,
+    /// Ladder downgrades across all clusters.
+    pub downgrades: u64,
+    /// Ladder recoveries back to the full protocol.
+    pub ladder_recoveries: u64,
+    /// INVARIANT — calls routed through a suspected-dead relay. Must be 0.
+    pub dead_relay_calls: u64,
+    /// INVARIANT — degraded calls with no active fault to excuse them.
+    /// Must be 0.
+    pub unexcused_degraded_calls: u64,
+    /// INVARIANT — sessions still active at the end of the run. Must be 0.
+    pub unterminated_calls: u64,
+    /// INVARIANT — clusters stuck without a usable control plane after
+    /// all faults healed. Must be 0.
+    pub stuck_clusters: u64,
+}
+
+impl ChaosSoakReport {
+    /// Total invariant violations (0 = the run is clean).
+    pub fn violations(&self) -> u64 {
+        self.dead_relay_calls
+            + self.unexcused_degraded_calls
+            + self.unterminated_calls
+            + self.stuck_clusters
+    }
+
+    fn from_report(seed: u64, sessions: usize, report: &SimReport) -> ChaosSoakReport {
+        ChaosSoakReport {
+            experiment: "chaos_soak".to_owned(),
+            seed,
+            sessions: sessions as u64,
+            calls_completed: report.calls_completed,
+            calls_without_path: report.calls_without_path,
+            calls_dropped: report.calls_dropped,
+            midcall_failovers: report.midcall_failovers,
+            partitions: report.partitions,
+            partition_dropped_calls: report.partition_dropped_calls,
+            degraded_calls: report.degraded_calls,
+            stale_sets_served: report.recovery.stale_sets_served,
+            probe_fallbacks: report.recovery.probe_fallbacks,
+            forced_direct: report.recovery.forced_direct,
+            warm_handoffs: report.recovery.warm_handoffs,
+            re_elections: report.recovery.re_elections,
+            suspected_dead: report.recovery.suspected_dead,
+            downgrades: report.recovery.downgrades,
+            ladder_recoveries: report.recovery.ladder_recoveries,
+            dead_relay_calls: report.dead_relay_calls,
+            unexcused_degraded_calls: report.unexcused_degraded_calls,
+            unterminated_calls: report.unterminated_calls,
+            stuck_clusters: report.stuck_clusters,
+        }
+    }
+}
+
+/// The churn + partition schedule the soak run drives.
+///
+/// Every knob is derived from `(seed, sessions)` alone so the run is
+/// seed-reproducible: calls stop early enough for every session to
+/// terminate inside the window, and the end of the run heals all faults
+/// and checks that no cluster is left stuck degraded.
+pub fn chaos_soak_sim(seed: u64, sessions: usize) -> SimConfig {
+    let duration_ms = 1_800_000;
+    let call_duration_ms = 120_000;
+    SimConfig {
+        join_window_ms: 60_000,
+        duration_ms,
+        calls: sessions,
+        surrogate_failures: 0,
+        call_duration_ms,
+        faults: Some(FaultPlanConfig {
+            seed,
+            start_ms: 60_000,
+            duration_ms,
+            surrogate_crash_per_tick: 0.01,
+            host_crash_per_tick: 0.01,
+            congestion_per_tick: 0.002,
+            drop_window_per_tick: 0.01,
+            drop_prob: (0.6, 0.95),
+            drop_window_ms: (10_000, 40_000),
+            stale_close_set_per_tick: 0.002,
+            partition_per_tick: 0.01,
+            ..Default::default()
+        }),
+        last_call_ms: Some(duration_ms - call_duration_ms),
+        final_recovery_check: true,
+        seed,
+    }
+}
+
+/// The protocol configuration the soak runs under.
+///
+/// `latT` is tightened from the paper's 300 ms to 150 ms: at bench
+/// scale almost no session exceeds 300 ms direct RTT, so the paper's
+/// threshold would let nearly every call take the fast direct path and
+/// the selection machinery (close sets, the degradation ladder) would
+/// sit idle. At 150 ms roughly a fifth of sessions go through relay
+/// selection, which is what the soak is there to stress.
+pub fn chaos_soak_config() -> AsapConfig {
+    AsapConfig {
+        lat_t_ms: 150.0,
+        ..Default::default()
+    }
+}
+
+/// Runs the chaos soak and returns its summary.
+pub fn chaos_soak(scenario: &Scenario, seed: u64, sessions: usize) -> ChaosSoakReport {
+    let sim = chaos_soak_sim(seed, sessions);
+    let report = run(scenario, chaos_soak_config(), &sim);
+    ChaosSoakReport::from_report(seed, sessions, &report)
+}
+
+/// Serializes rows as newline-delimited JSON, one object per line.
+///
+/// # Panics
+///
+/// Panics if a row fails to serialize (plain data never does).
+pub fn json_lines<T: Serialize>(rows: &[T]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&serde_json::to_string(r).expect("row serializes"));
+        out.push('\n');
+    }
+    out
+}

@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
+
 use std::fmt::Display;
 
 use asap_workload::{PopulationConfig, Scenario, ScenarioConfig};

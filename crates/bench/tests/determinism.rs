@@ -1,0 +1,43 @@
+//! Determinism regression tests for the robustness experiments.
+//!
+//! The fault-injection layer, the membership machinery, and the event
+//! simulation all promise bit-for-bit reproducibility from a seed. These
+//! tests pin the promise at the experiment boundary: running the same
+//! experiment twice with the same seed must yield *byte-identical* JSON,
+//! the exact artifact a reader would diff between runs.
+
+use asap_bench::experiments::{chaos_soak, fault_recovery_sweep, json_lines};
+use asap_bench::Scale;
+use asap_workload::Scenario;
+
+fn tiny_scenario(seed: u64) -> Scenario {
+    let mut config = Scale::Tiny.scenario_config();
+    // Shrink the world so two full sweeps stay fast in CI.
+    config.population.target_hosts = 600;
+    Scenario::build(config, seed)
+}
+
+#[test]
+fn fault_recovery_json_is_byte_identical_across_runs() {
+    let scenario = tiny_scenario(5);
+    let a = json_lines(&fault_recovery_sweep(&scenario, 5, 120));
+    let b = json_lines(&fault_recovery_sweep(&scenario, 5, 120));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must reproduce the same JSON bytes");
+}
+
+#[test]
+fn chaos_soak_json_is_byte_identical_across_runs() {
+    let scenario = tiny_scenario(9);
+    let a = json_lines(std::slice::from_ref(&chaos_soak(&scenario, 9, 400)));
+    let b = json_lines(std::slice::from_ref(&chaos_soak(&scenario, 9, 400)));
+    assert_eq!(a, b, "same seed must reproduce the same JSON bytes");
+}
+
+#[test]
+fn different_seeds_change_the_schedule() {
+    let scenario = tiny_scenario(5);
+    let a = json_lines(&fault_recovery_sweep(&scenario, 5, 120));
+    let b = json_lines(&fault_recovery_sweep(&scenario, 6, 120));
+    assert_ne!(a, b, "the seed must actually drive the schedule");
+}

@@ -52,5 +52,5 @@ mod trie;
 pub use asn::{Asn, ParseAsnError};
 pub use cluster::{Cluster, ClusterId, ClusterLevel, Clustering};
 pub use ip::{Ip, ParseIpError, ParsePrefixError, Prefix};
-pub use table::PrefixTable;
+pub use table::{parse_dump_line, ParseDumpError, PrefixTable};
 pub use trie::PrefixTrie;

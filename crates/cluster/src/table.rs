@@ -1,8 +1,83 @@
 //! The IP-prefix → origin-AS mapping table.
 
+use std::fmt;
+
 use crate::asn::Asn;
 use crate::ip::{Ip, Prefix};
 use crate::trie::PrefixTrie;
+
+/// Error from parsing a BGP routing-table dump.
+///
+/// Carries the 1-based line number and the offending line so a bad feed
+/// is diagnosable; malformed input must surface here, never as a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDumpError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The offending line, truncated to 80 bytes for display.
+    pub content: String,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseDumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad routing-table line {}: {} ({:?})",
+            self.line, self.reason, self.content
+        )
+    }
+}
+
+impl std::error::Error for ParseDumpError {}
+
+fn dump_error(line: usize, content: &str, reason: &'static str) -> ParseDumpError {
+    let mut content = content.to_owned();
+    if content.len() > 80 {
+        let mut cut = 80;
+        while !content.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        content.truncate(cut);
+    }
+    ParseDumpError {
+        line,
+        content,
+        reason,
+    }
+}
+
+/// Parses one routing-table dump line into `(prefix, origin AS)`.
+///
+/// The accepted shape is `<prefix> <as-path…>` — an announced CIDR
+/// prefix followed by a whitespace-separated AS path whose *last*
+/// element is the originating AS (the convention of `show ip bgp`-style
+/// dumps, which is where the paper's bootstrap nodes get the table).
+/// AS numbers parse with or without an `AS` prefix. Blank lines and
+/// `#`-comments yield `Ok(None)`.
+///
+/// Any malformed field — garbage prefix, empty AS path, non-numeric
+/// origin — returns `Err`; this function never panics, whatever the
+/// input bytes.
+pub fn parse_dump_line(line: &str) -> Result<Option<(Prefix, Asn)>, ParseDumpError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = trimmed.split_whitespace();
+    let prefix_field = fields.next().expect("non-blank line has a first field");
+    let prefix: Prefix = prefix_field
+        .parse()
+        .map_err(|_| dump_error(1, line, "malformed CIDR prefix"))?;
+    let origin_field = fields
+        .last()
+        .ok_or_else(|| dump_error(1, line, "missing AS path"))?;
+    let origin: Asn = origin_field
+        .parse()
+        .map_err(|_| dump_error(1, line, "malformed origin AS"))?;
+    Ok(Some((prefix, origin)))
+}
 
 /// An IP-prefix → origin-AS mapping table.
 ///
@@ -82,6 +157,29 @@ impl PrefixTable {
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, Asn)> + '_ {
         self.trie.iter().map(|(p, asn)| (p, *asn))
     }
+
+    /// Builds a table from a whole routing-table dump.
+    ///
+    /// Each non-blank, non-comment line must parse per
+    /// [`parse_dump_line`]; the first malformed line aborts with an
+    /// error carrying its 1-based line number. Later announcements of
+    /// an already-mapped prefix replace the earlier origin, matching
+    /// BGP update semantics.
+    pub fn from_dump(dump: &str) -> Result<PrefixTable, ParseDumpError> {
+        let mut table = PrefixTable::new();
+        for (i, line) in dump.lines().enumerate() {
+            match parse_dump_line(line) {
+                Ok(Some((prefix, origin))) => {
+                    table.insert(prefix, origin);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(ParseDumpError { line: i + 1, ..e });
+                }
+            }
+        }
+        Ok(table)
+    }
 }
 
 impl FromIterator<(Prefix, Asn)> for PrefixTable {
@@ -141,5 +239,51 @@ mod tests {
         let (prefix, asn) = table.matched_prefix("10.1.2.3".parse().unwrap()).unwrap();
         assert_eq!(prefix, p("10.1.0.0/16"));
         assert_eq!(asn, Asn(3));
+    }
+
+    #[test]
+    fn dump_lines_parse_paths_comments_and_blanks() {
+        assert_eq!(
+            parse_dump_line("10.0.0.0/8 7018 3356 65001").unwrap(),
+            Some((p("10.0.0.0/8"), Asn(65001)))
+        );
+        assert_eq!(
+            parse_dump_line("  192.168.0.0/16\tAS7018  ").unwrap(),
+            Some((p("192.168.0.0/16"), Asn(7018)))
+        );
+        assert_eq!(parse_dump_line("").unwrap(), None);
+        assert_eq!(parse_dump_line("   ").unwrap(), None);
+        assert_eq!(parse_dump_line("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_dump_lines_return_err_not_panic() {
+        for bad in [
+            "10.0.0.0/8",          // no AS path
+            "10.0.0.0 7018",       // no prefix length
+            "10.0.0.0/33 7018",    // length out of range
+            "300.0.0.0/8 7018",    // octet out of range
+            "10.0.0.0/8 ASx",      // non-numeric origin
+            "10.0.0.0/8 1 2 woof", // garbage origin at path end
+            "not a line at all",
+        ] {
+            assert!(parse_dump_line(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn from_dump_builds_a_table_and_reports_the_bad_line() {
+        let table = PrefixTable::from_dump(
+            "# origin table\n10.0.0.0/8 7018 1\n\n10.64.0.0/10 AS2\n10.0.0.0/8 9\n",
+        )
+        .unwrap();
+        assert_eq!(table.len(), 2);
+        // The later announcement replaced the /8's origin.
+        assert_eq!(table.origin_of_prefix(p("10.0.0.0/8")), Some(Asn(9)));
+        assert_eq!(table.origin_of_prefix(p("10.64.0.0/10")), Some(Asn(2)));
+
+        let err = PrefixTable::from_dump("10.0.0.0/8 1\nbogus\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
     }
 }

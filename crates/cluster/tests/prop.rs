@@ -119,3 +119,51 @@ proptest! {
         prop_assert_eq!(p, back);
     }
 }
+
+proptest! {
+    /// Whatever bytes a BGP feed throws at the dump parser, it answers
+    /// with Ok or Err — it never panics — and a whole dump of such
+    /// lines likewise builds or reports the offending line number.
+    #[test]
+    fn dump_parser_never_panics_on_garbage(
+        byte_lines in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40),
+            0..20,
+        ),
+    ) {
+        // Lossy UTF-8 keeps arbitrary bytes while staying &str-typed;
+        // newlines are stripped so each fuzzed blob stays one line.
+        let lines: Vec<String> = byte_lines
+            .iter()
+            .map(|bs| {
+                String::from_utf8_lossy(bs)
+                    .chars()
+                    .filter(|c| *c != '\n' && *c != '\r')
+                    .collect()
+            })
+            .collect();
+        for line in &lines {
+            let _ = asap_cluster::parse_dump_line(line);
+        }
+        let dump = lines.join("\n");
+        if let Err(e) = PrefixTable::from_dump(&dump) {
+            prop_assert!(e.line >= 1 && e.line <= lines.len());
+        }
+    }
+
+    /// Well-formed dump lines always parse, and the parsed entry
+    /// round-trips the prefix and the AS-path origin exactly.
+    #[test]
+    fn dump_parser_accepts_valid_lines(
+        base in any::<u32>(),
+        len in 0u8..=32,
+        path in proptest::collection::vec(0u32..1_000_000, 1..6),
+        spaces in 1usize..=3,
+    ) {
+        let prefix = Prefix::new(Ip(base), len);
+        let path_text: Vec<String> = path.iter().map(u32::to_string).collect();
+        let line = format!("{prefix}{}{}", " ".repeat(spaces), path_text.join(" "));
+        let parsed = asap_cluster::parse_dump_line(&line).unwrap();
+        prop_assert_eq!(parsed, Some((prefix, Asn(*path.last().unwrap()))));
+    }
+}

@@ -8,17 +8,19 @@
 //! that the protocol machine stays consistent under churn, and the source
 //! of the §6.3 traffic-load numbers.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use asap_cluster::ClusterId;
 use asap_netsim::events::{EventQueue, SimTime};
 use asap_netsim::faults::{FaultKind, FaultPlan, FaultPlanConfig, MessageDrops};
+use asap_netsim::membership::Verdict;
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::AsapConfig;
+use crate::ladder::DegradationLevel;
 use crate::select::CloseRelaySelection;
 use crate::system::{AsapSystem, RecoveryStats};
 
@@ -35,12 +37,14 @@ pub struct MessageCounts {
     pub election: u64,
     /// Per-call messages (pings + selection).
     pub call: u64,
+    /// Liveness heartbeats from monitored replica members.
+    pub heartbeat: u64,
 }
 
 impl MessageCounts {
     /// Total messages of all types.
     pub fn total(&self) -> u64 {
-        self.join + self.close_set + self.publish + self.election + self.call
+        self.join + self.close_set + self.publish + self.election + self.call + self.heartbeat
     }
 }
 
@@ -59,8 +63,19 @@ pub struct SimConfig {
     /// crashes hit it mid-call and congestion bursts degrade it.
     pub call_duration_ms: u64,
     /// Optional deterministic fault schedule driven alongside the
-    /// workload (crashes, congestion, message drops, stale epochs).
+    /// workload (crashes, congestion, message drops, stale epochs,
+    /// AS partitions).
     pub faults: Option<FaultPlanConfig>,
+    /// Latest time a call may be placed (None = anytime before the end).
+    /// Soak runs set `duration_ms - call_duration_ms` so every session
+    /// can terminate inside the simulated window.
+    pub last_call_ms: Option<u64>,
+    /// When set, the end of the run heals every partition, clears
+    /// message faults, runs one membership sweep, and counts clusters
+    /// whose control plane is still unusable despite having online
+    /// members ([`SimReport::stuck_clusters`] — the "no permanently
+    /// stuck degraded mode" invariant).
+    pub final_recovery_check: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -74,6 +89,8 @@ impl Default for SimConfig {
             surrogate_failures: 3,
             call_duration_ms: 180_000,
             faults: None,
+            last_call_ms: None,
+            final_recovery_check: false,
             seed: 0,
         }
     }
@@ -98,8 +115,29 @@ pub struct SimReport {
     /// Active calls degraded by an AS congestion burst crossing one of
     /// their endpoints or relays.
     pub congestion_degraded_calls: u64,
-    /// Protocol-side recovery counters (retries, re-elections, cache
-    /// invalidations), snapshotted from the system at the end.
+    /// AS partitions applied.
+    pub partitions: u64,
+    /// Active calls torn down because an endpoint's AS was partitioned.
+    pub partition_dropped_calls: u64,
+    /// Calls served below the full protocol (any degraded rung).
+    pub degraded_calls: u64,
+    /// INVARIANT COUNTER — calls that were routed through a relay the
+    /// suspicion detector had already declared dead. Must stay 0.
+    pub dead_relay_calls: u64,
+    /// INVARIANT COUNTER — degraded calls with no excuse: no message-drop
+    /// window active and both endpoint clusters' control planes usable.
+    /// Must stay 0.
+    pub unexcused_degraded_calls: u64,
+    /// Calls still active when the simulation ended (soak schedules keep
+    /// this at 0 by bounding [`SimConfig::last_call_ms`]).
+    pub unterminated_calls: u64,
+    /// INVARIANT COUNTER — clusters left with an unusable control plane
+    /// despite online members after the final recovery check healed all
+    /// faults. Must stay 0. Only counted when
+    /// [`SimConfig::final_recovery_check`] is set.
+    pub stuck_clusters: u64,
+    /// Protocol-side recovery counters (retries, handoffs, re-elections,
+    /// ladder transitions), snapshotted from the system at the end.
     pub recovery: RecoveryStats,
     /// Message counters by type.
     pub messages: MessageCounts,
@@ -118,6 +156,10 @@ enum Event {
     Fault(usize),
     /// A windowed fault (message drops) expires.
     FaultEnd,
+    /// An AS partition may heal (the ASN's latest end time is checked).
+    PartitionEnd(u32),
+    /// Periodic membership sweep: heartbeats + suspicion-based demotion.
+    MembershipTick,
     /// An active call hangs up normally.
     EndCall(u64),
     End,
@@ -155,6 +197,10 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
             Event::Join(h.id),
         );
     }
+    let last_call = sim
+        .last_call_ms
+        .unwrap_or(sim.duration_ms)
+        .max(sim.join_window_ms + 1);
     for _ in 0..sim.calls {
         let caller = HostId(rng.gen_range(0..hosts.len()) as u32);
         let callee = loop {
@@ -163,7 +209,7 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
                 break c;
             }
         };
-        let at = rng.gen_range(sim.join_window_ms..sim.duration_ms.max(sim.join_window_ms + 1));
+        let at = rng.gen_range(sim.join_window_ms..last_call);
         queue.schedule(SimTime(at), Event::Call(Session { caller, callee }));
     }
     let clusters = scenario.population.clustering().cluster_count() as u32;
@@ -185,6 +231,18 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
         plan
     });
     let plan = plan.unwrap_or_default();
+    // Membership sweeps at the heartbeat cadence for the whole run.
+    let hb_interval = system
+        .config()
+        .membership
+        .suspicion
+        .heartbeat_interval_ms
+        .max(1);
+    let mut tick_at = hb_interval;
+    while tick_at < sim.duration_ms {
+        queue.schedule(SimTime(tick_at), Event::MembershipTick);
+        tick_at += hb_interval;
+    }
     queue.schedule(SimTime(sim.duration_ms), Event::End);
 
     let mut report = SimReport::default();
@@ -194,11 +252,32 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
     let mut next_call_id: u64 = 0;
     // ASN → congestion-burst end time (virtual ms).
     let mut congested_until: BTreeMap<u32, u64> = BTreeMap::new();
+    // ASN → partition end time (virtual ms).
+    let mut partitioned_until: BTreeMap<u32, u64> = BTreeMap::new();
     let mut drop_windows_active: u32 = 0;
     while let Some((now, event)) = queue.pop() {
+        system.advance_to(now.as_ms());
         match event {
             Event::End => {
                 report.ended_at = now;
+                report.unterminated_calls = active.len() as u64;
+                if sim.final_recovery_check {
+                    // Heal everything, give the detector one sweep, and
+                    // verify no cluster is stuck degraded: every cluster
+                    // with an online member must be able to serve again.
+                    for &asn in partitioned_until.keys() {
+                        system.heal_as(asn);
+                    }
+                    system.set_message_faults(None);
+                    let _ = system.membership_tick(now.as_ms());
+                    for c in scenario.population.clustering().clusters() {
+                        let members = scenario.population.cluster_members(c.id());
+                        let any_online = members.iter().any(|&h| system.is_online(h));
+                        if any_online && !system.cluster_control_usable(c.id()) {
+                            report.stuck_clusters += 1;
+                        }
+                    }
+                }
                 break;
             }
             Event::Join(h) => {
@@ -224,7 +303,28 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
             Event::Call(session) => {
                 let outcome = system.call(session.caller, session.callee);
                 report.messages.call += outcome.messages;
+                if outcome.degradation > DegradationLevel::FullAsap {
+                    report.degraded_calls += 1;
+                    // A downgrade is legitimate only while the control
+                    // plane is actually impaired: a drop window is live
+                    // or an endpoint cluster cannot answer.
+                    let caller_cluster = scenario.population.cluster_of(session.caller);
+                    let callee_cluster = scenario.population.cluster_of(session.callee);
+                    let excused = drop_windows_active > 0
+                        || !system.cluster_control_usable(caller_cluster)
+                        || !system.cluster_control_usable(callee_cluster)
+                        || system.is_partitioned(scenario.population.host(session.caller).asn.0)
+                        || system.is_partitioned(scenario.population.host(session.callee).asn.0);
+                    if !excused {
+                        report.unexcused_degraded_calls += 1;
+                    }
+                }
                 if let Some(chosen) = outcome.chosen {
+                    for &r in &chosen.relays {
+                        if system.relay_verdict(r) == Verdict::Dead {
+                            report.dead_relay_calls += 1;
+                        }
+                    }
                     report.calls_completed += 1;
                     let mut call = ActiveCall {
                         session,
@@ -269,6 +369,7 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
                     &mut queue,
                     &mut active,
                     &mut congested_until,
+                    &mut partitioned_until,
                     &mut drop_windows_active,
                     &mut report,
                 );
@@ -280,6 +381,28 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
                     system.set_message_faults(None);
                 }
             }
+            Event::PartitionEnd(asn) => {
+                // Heal only once the *latest* overlapping partition of
+                // this ASN has run out.
+                if partitioned_until
+                    .get(&asn)
+                    .is_some_and(|&until| until <= now.as_ms())
+                {
+                    partitioned_until.remove(&asn);
+                    system.heal_as(asn);
+                }
+            }
+            Event::MembershipTick => {
+                let tick = system.membership_tick(now.as_ms());
+                report.messages.heartbeat += tick.heartbeats;
+                for h in tick.demoted {
+                    // The surrogate role moved on; calls still relayed
+                    // through the suspect must fail over too.
+                    report.failovers += 1;
+                    report.messages.election += 2;
+                    fail_over_calls(&system, &mut active, &mut report, h);
+                }
+            }
         }
     }
     report.recovery = system.stats().recovery;
@@ -287,6 +410,12 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
 }
 
 /// Applies one scheduled fault to the running system.
+///
+/// Plan-driven crashes are *silent*: the victim disappears without any
+/// notification, and its replica roles are only recovered once the
+/// suspicion detector declares it dead at a membership tick. Calls
+/// relayed through it notice immediately (the media stream stops) and
+/// fail over right away.
 #[allow(clippy::too_many_arguments)]
 fn apply_fault(
     scenario: &Scenario,
@@ -298,31 +427,48 @@ fn apply_fault(
     queue: &mut EventQueue<Event>,
     active: &mut BTreeMap<u64, ActiveCall>,
     congested_until: &mut BTreeMap<u32, u64>,
+    partitioned_until: &mut BTreeMap<u32, u64>,
     drop_windows_active: &mut u32,
     report: &mut SimReport,
 ) {
     match kind {
         FaultKind::SurrogateCrash { cluster } => {
-            let id = ClusterId(cluster);
-            let victim = system.surrogate_of(id);
-            if system.crash_host(victim) {
-                report.failovers += 1;
-                let members = scenario.population.cluster_members(id).len() as u64;
-                report.messages.election += 2 + members;
-            }
+            let victim = system.surrogate_of(ClusterId(cluster));
+            let _ = system.silent_crash(victim);
             fail_over_calls(system, active, report, victim);
         }
         FaultKind::HostCrash { host } => {
             let victim = HostId(host);
-            if system.crash_host(victim) {
-                // The host happened to be a surrogate: its cluster
-                // re-elected.
-                report.failovers += 1;
-                let cluster = scenario.population.cluster_of(victim);
-                let members = scenario.population.cluster_members(cluster).len() as u64;
-                report.messages.election += 2 + members;
-            }
+            let _ = system.silent_crash(victim);
             fail_over_calls(system, active, report, victim);
+        }
+        FaultKind::AsPartition { asn, duration_ms } => {
+            system.partition_as(asn);
+            report.partitions += 1;
+            let until = partitioned_until.entry(asn).or_insert(0);
+            *until = (*until).max(now.as_ms() + duration_ms);
+            queue.schedule(now.after_ms(duration_ms), Event::PartitionEnd(asn));
+            // Calls with an endpoint inside the cut AS lose their media
+            // path outright.
+            let of = |h: HostId| scenario.population.host(h).asn.0;
+            let severed: Vec<u64> = active
+                .iter()
+                .filter(|(_, c)| (of(c.session.caller) == asn) != (of(c.session.callee) == asn))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in severed {
+                active.remove(&id);
+                report.partition_dropped_calls += 1;
+            }
+            // Calls merely *relayed* through the cut AS fail over.
+            let dead_relays: BTreeSet<HostId> = active
+                .values()
+                .flat_map(|c| c.relays.iter().copied())
+                .filter(|&r| of(r) == asn)
+                .collect();
+            for r in dead_relays {
+                fail_over_calls(system, active, report, r);
+            }
         }
         FaultKind::AsCongestion {
             asn, duration_ms, ..
@@ -459,7 +605,7 @@ mod tests {
         let m = report.messages;
         assert_eq!(
             m.total(),
-            m.join + m.close_set + m.publish + m.election + m.call
+            m.join + m.close_set + m.publish + m.election + m.call + m.heartbeat
         );
         assert!(m.total() > 0);
     }
@@ -475,6 +621,7 @@ mod tests {
                 congestion_per_tick: 0.01,
                 drop_window_per_tick: 0.01,
                 stale_close_set_per_tick: 0.01,
+                partition_per_tick: 0.005,
                 ..Default::default()
             }),
             ..Default::default()
@@ -500,15 +647,54 @@ mod tests {
         assert!(report.calls_completed > 0, "faults wiped out every call");
         assert!(report.calls_dropped <= report.calls_completed);
         // ~10 expected surrogate crashes over 540 ticks at 2%/tick: the
-        // recovery machinery must have actually run.
+        // suspicion detector must have demoted victims, and every
+        // demotion resolved as a warm handoff or a cold re-election.
         assert!(
-            report.recovery.re_elections > 0,
-            "no surrogate crash re-elected: {:?}",
+            report.recovery.suspected_dead > 0,
+            "no silent crash was ever suspected: {:?}",
+            report.recovery
+        );
+        assert!(
+            report.recovery.warm_handoffs + report.recovery.re_elections > 0,
+            "no surrogate loss was ever recovered: {:?}",
             report.recovery
         );
         assert!(report.failovers > 0);
+        // The invariants hold even under this unexcused-hostile mix.
+        assert_eq!(report.dead_relay_calls, 0);
+        assert_eq!(report.unexcused_degraded_calls, 0);
         // Every mid-call failover spent its re-ping.
         assert!(report.recovery.recovery_messages >= 2 * report.midcall_failovers);
+    }
+
+    #[test]
+    fn partition_churn_honors_soak_invariants() {
+        let s = scenario();
+        let sim = SimConfig {
+            calls: 60,
+            surrogate_failures: 0,
+            duration_ms: 600_000,
+            call_duration_ms: 120_000,
+            last_call_ms: Some(600_000 - 120_000),
+            final_recovery_check: true,
+            faults: Some(FaultPlanConfig {
+                seed: 11,
+                surrogate_crash_per_tick: 0.01,
+                host_crash_per_tick: 0.01,
+                partition_per_tick: 0.02,
+                drop_window_per_tick: 0.01,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let report = run(&s, AsapConfig::default(), &sim);
+        assert!(report.partitions > 0, "no partition was ever injected");
+        assert_eq!(report.dead_relay_calls, 0);
+        assert_eq!(report.unexcused_degraded_calls, 0);
+        assert_eq!(report.unterminated_calls, 0);
+        assert_eq!(report.stuck_clusters, 0);
+        // Degraded service actually happened and was recorded.
+        assert!(report.degraded_calls > 0 || report.partition_dropped_calls > 0);
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   evaluation harness as DEDI/RAND/MIX/OPT.
 //! * [`events`] — a discrete-event simulation of the full protocol
 //!   machine (joins, publishes, failures) for end-to-end validation.
+//! * [`ladder`] — the graceful-degradation ladder: full ASAP →
+//!   bounded-stale close sets → MIX-style probing → direct path, with
+//!   phi-accrual liveness and replica-set warm handoff behind it
+//!   (beyond the paper, which assumes a cooperative network).
 //!
 //! # Example
 //!
@@ -49,10 +53,15 @@
 pub mod close_set;
 mod config;
 pub mod events;
+pub mod ladder;
 pub mod select;
 mod selector;
 mod system;
 
-pub use config::AsapConfig;
+pub use config::{AsapConfig, MembershipConfig};
+pub use ladder::{DegradationLadder, DegradationLevel};
 pub use selector::AsapSelector;
-pub use system::{AsapSystem, CallOutcome, ChosenPath, RecoveryStats, SystemStats};
+pub use system::{
+    AsapSystem, CallOutcome, ChosenPath, MembershipTickReport, RecoveryStats, ReplicaSet,
+    SystemStats,
+};

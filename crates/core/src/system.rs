@@ -1,20 +1,46 @@
-//! The ASAP node runtime: bootstrap tables, surrogate election and
-//! failover, join and call flows, message accounting.
+//! The ASAP node runtime: bootstrap tables, surrogate replica sets with
+//! epoch-numbered warm handoff, phi-accrual liveness, the
+//! graceful-degradation ladder, join and call flows, message accounting.
+//!
+//! # Failure model
+//!
+//! Two detection channels coexist, mirroring a real deployment:
+//!
+//! * **Announced departures** ([`AsapSystem::crash_host`],
+//!   [`AsapSystem::fail_surrogate`]) — cluster-local peers notice the
+//!   closed connection immediately, so the replica set reacts in the same
+//!   step (warm handoff or cold re-election).
+//! * **Silent failures** ([`AsapSystem::silent_crash`], AS partitions) —
+//!   nothing announces them. The phi-accrual suspicion detector
+//!   ([`asap_netsim::membership`]) accumulates evidence from missed
+//!   heartbeats, and [`AsapSystem::membership_tick`] demotes replica
+//!   members only once their verdict reaches [`Verdict::Dead`].
+//!
+//! Losing an active surrogate triggers an **epoch-numbered handoff**: if a
+//! quorum of the replica set (active + standbys) is still usable, the best
+//! standby is promoted in place — the cluster's epoch advances but cached
+//! close sets referencing it are *refreshed*, not purged, because the
+//! close-set content is cluster-level and relays are resolved through
+//! `surrogate_of` at pick time. Without quorum the cluster falls back to a
+//! cold re-election with the PR1 purge semantics.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use asap_cluster::{Asn, ClusterId};
 use asap_netsim::faults::MessageDrops;
+use asap_netsim::membership::{MembershipView, Verdict};
 use asap_workload::{HostId, Scenario};
 use parking_lot::Mutex;
 
 use crate::close_set::{construct_close_cluster_set, CloseClusterSet, ClusterIndex};
 use crate::config::AsapConfig;
+use crate::ladder::{DegradationLadder, DegradationLevel};
 use crate::select::{select_close_relay, CloseRelaySelection};
 
 /// Counters of everything the system spent recovering from faults:
-/// dropped control messages, crashed surrogates, dead mid-call relays.
+/// dropped control messages, crashed surrogates, dead mid-call relays,
+/// degraded-mode service.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Control requests that timed out (dropped request or reply).
@@ -23,17 +49,39 @@ pub struct RecoveryStats {
     pub retries: u64,
     /// Mid-call relay failovers performed.
     pub failovers: u64,
-    /// Surrogate re-elections triggered by crashes or forced epochs.
+    /// Cold surrogate re-elections (no usable quorum, or forced epochs).
     pub re_elections: u64,
     /// Cached close sets dropped because a referenced cluster's surrogate
-    /// epoch advanced.
+    /// epoch advanced without a warm handoff.
     pub cache_invalidations: u64,
     /// Messages spent purely on recovery: wasted request/reply pairs,
-    /// re-election notifications, failover re-pings.
+    /// re-election notifications, quorum rounds, failover re-pings.
     pub recovery_messages: u64,
     /// Virtual milliseconds (the simulator's tick) spent waiting on
     /// retry backoff before requests got through.
     pub stabilization_ticks: u64,
+    /// Warm standby promotions: an active surrogate was replaced by a
+    /// quorum handoff without purging dependent close sets.
+    pub warm_handoffs: u64,
+    /// Surrogate losses where the surviving replica set had no usable
+    /// quorum, forcing a cold re-election.
+    pub quorum_failures: u64,
+    /// Replica members declared dead by the suspicion detector (silent
+    /// crashes and partitions caught via missed heartbeats).
+    pub suspected_dead: u64,
+    /// Ladder transitions to a more degraded service level.
+    pub downgrades: u64,
+    /// Ladder recoveries back to the full protocol.
+    pub ladder_recoveries: u64,
+    /// Calls served from a bounded-age cached close set because fresh
+    /// fetches were impossible (the stale-close-set rung).
+    pub stale_sets_served: u64,
+    /// Calls that fell through to MIX-style random relay probing (no
+    /// close set available at all).
+    pub probe_fallbacks: u64,
+    /// Calls forced onto the direct path above `latT` because even
+    /// probing found no relay.
+    pub forced_direct: u64,
 }
 
 /// Counters describing everything the system did since bootstrap.
@@ -45,7 +93,7 @@ pub struct SystemStats {
     pub calls: u64,
     /// Calls that used the direct path (below `latT`).
     pub direct_calls: u64,
-    /// Calls that ran `select-close-relay()`.
+    /// Calls that ran `select-close-relay()` (or a degraded fallback).
     pub relayed_calls: u64,
     /// Close cluster sets constructed by surrogates.
     pub close_sets_built: u64,
@@ -54,7 +102,7 @@ pub struct SystemStats {
     pub construction_messages: u64,
     /// Per-session selection messages (the Fig. 18 quantity).
     pub session_messages: u64,
-    /// Surrogate elections performed (bootstrap + failovers).
+    /// Surrogate elections performed (bootstrap + cold re-elections).
     pub elections: u64,
     /// Everything spent recovering from injected faults.
     pub recovery: RecoveryStats,
@@ -65,7 +113,8 @@ pub struct SystemStats {
 pub struct CallOutcome {
     /// Direct-route RTT measured at call start, if routable.
     pub direct_rtt_ms: Option<f64>,
-    /// Whether the call proceeded on the direct path.
+    /// Whether the call proceeded on the direct path because it was
+    /// already below `latT`.
     pub used_direct: bool,
     /// The relay selection, when one ran.
     pub selection: Option<CloseRelaySelection>,
@@ -73,8 +122,10 @@ pub struct CallOutcome {
     /// the resulting path (empty relays = direct path).
     pub chosen: Option<ChosenPath>,
     /// Messages this call spent: 2 for the direct ping, plus the
-    /// selection messages.
+    /// selection (or probing) messages.
     pub messages: u64,
+    /// The service-ladder rung this call was served at.
+    pub degradation: DegradationLevel,
 }
 
 /// The concrete path a call ends up using.
@@ -86,6 +137,46 @@ pub struct ChosenPath {
     pub rtt_ms: f64,
     /// True end-to-end loss probability.
     pub loss: f64,
+}
+
+/// A cluster's bootstrap replica set: the active surrogates serving
+/// requests plus warm standbys ready for an epoch-numbered handoff.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicaSet {
+    /// Active surrogates (first entry is the primary; large clusters
+    /// elect several, §6.3).
+    pub active: Vec<HostId>,
+    /// Standby surrogates kept warm behind the active set, best first.
+    pub standbys: Vec<HostId>,
+    /// Epoch number: advanced on every handoff or re-election.
+    pub epoch: u64,
+}
+
+impl ReplicaSet {
+    /// Every member of the replica set (actives then standbys).
+    pub fn members(&self) -> Vec<HostId> {
+        self.active
+            .iter()
+            .chain(self.standbys.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Total replica-set size (actives + standbys).
+    pub fn size(&self) -> usize {
+        self.active.len() + self.standbys.len()
+    }
+}
+
+/// What one membership sweep did: heartbeats delivered and active
+/// surrogates demoted because the detector declared them dead.
+#[derive(Debug, Clone, Default)]
+pub struct MembershipTickReport {
+    /// Heartbeats delivered to reachable monitored nodes.
+    pub heartbeats: u64,
+    /// Active surrogates demoted this sweep (callers should fail over
+    /// any call still relayed through them).
+    pub demoted: Vec<HostId>,
 }
 
 /// The running ASAP system over a scenario.
@@ -101,24 +192,25 @@ pub struct AsapSystem<'a> {
     scenario: &'a Scenario,
     config: AsapConfig,
     index: ClusterIndex,
-    /// Current surrogates of every cluster (indexed by `ClusterId.0`);
-    /// first entry is the primary. Large clusters elect several (§6.3:
-    /// "for a few large clusters containing close to 1,000 online end
-    /// hosts, we can select multiple surrogates in them to share the
-    /// possible heavy load").
-    surrogates: Mutex<Vec<Vec<HostId>>>,
-    /// Close-set requests served, indexed like `surrogates` (per-cluster,
-    /// per-surrogate) — used to verify load sharing.
+    /// Per-cluster replica sets (indexed by `ClusterId.0`).
+    replicas: Mutex<Vec<ReplicaSet>>,
+    /// Close-set requests served, per (cluster, surrogate) — used to
+    /// verify load sharing.
     surrogate_load: Mutex<std::collections::HashMap<(ClusterId, HostId), u64>>,
     /// Hosts marked offline (failed surrogates stay out of elections).
     offline: Mutex<Vec<bool>>,
-    /// Per-cluster surrogate epoch: advanced on every re-election (or
-    /// forced staleness), so cached close sets referencing the cluster
-    /// can tell they are out of date.
-    epochs: Mutex<Vec<u64>>,
     close_sets: Mutex<HashMap<ClusterId, CachedCloseSet>>,
     /// Injected control-message drop decider (None = healthy network).
     message_faults: Mutex<Option<MessageDrops>>,
+    /// Phi-accrual liveness over every current and former replica member.
+    membership: Mutex<MembershipView>,
+    /// Per-cluster graceful-degradation ladder state.
+    ladders: Mutex<Vec<DegradationLadder>>,
+    /// ASNs currently cut off by an AS partition (hosts intact but
+    /// silent to the outside).
+    partitioned: Mutex<BTreeSet<u32>>,
+    /// Monotonic virtual clock, advanced by the event-driven runtime.
+    clock_ms: Mutex<u64>,
     stats: Mutex<SystemStats>,
 }
 
@@ -128,13 +220,24 @@ pub struct AsapSystem<'a> {
 struct CachedCloseSet {
     deps: Vec<(ClusterId, u64)>,
     set: Arc<CloseClusterSet>,
+    /// Virtual time the set was built — bounds the stale-close-set rung.
+    built_at_ms: u64,
+}
+
+/// SplitMix64 finalizer: the deterministic hash behind MIX-style probing.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl<'a> AsapSystem<'a> {
-    /// Boots the system: builds the bootstrap tables and elects the most
-    /// capable member of every cluster as its surrogate ("every surrogate
-    /// is the most powerful and reliable VoIP end host in its cluster",
-    /// §6.3).
+    /// Boots the system: builds the bootstrap tables and elects each
+    /// cluster's replica set — the most capable members as active
+    /// surrogates ("every surrogate is the most powerful and reliable
+    /// VoIP end host in its cluster", §6.3) plus warm standbys. Every
+    /// replica member starts monitored with a heartbeat at t=0.
     ///
     /// # Panics
     ///
@@ -148,20 +251,35 @@ impl<'a> AsapSystem<'a> {
             scenario,
             config,
             index,
-            surrogates: Mutex::new(Vec::new()),
+            replicas: Mutex::new(Vec::new()),
             surrogate_load: Mutex::new(Default::default()),
             offline: Mutex::new(offline),
-            epochs: Mutex::new(vec![0; cluster_count]),
             close_sets: Mutex::new(HashMap::new()),
             message_faults: Mutex::new(None),
+            membership: Mutex::new(MembershipView::new(config.membership.suspicion)),
+            ladders: Mutex::new(vec![DegradationLadder::default(); cluster_count]),
+            partitioned: Mutex::new(BTreeSet::new()),
+            clock_ms: Mutex::new(0),
             stats: Mutex::new(SystemStats::default()),
         };
         let clustering = scenario.population.clustering();
-        let mut surrogates = Vec::with_capacity(clustering.cluster_count());
+        let mut replicas = Vec::with_capacity(clustering.cluster_count());
         for c in clustering.clusters() {
-            surrogates.push(system.elect(c.id()));
+            replicas.push(system.elect_split(c.id(), &[]));
         }
-        *system.surrogates.lock() = surrogates;
+        *system.replicas.lock() = replicas;
+        let members: Vec<u32> = system
+            .replicas
+            .lock()
+            .iter()
+            .flat_map(|r| r.members())
+            .map(|h| h.0)
+            .collect();
+        let mut view = system.membership.lock();
+        for m in members {
+            view.heartbeat(m, 0);
+        }
+        drop(view);
         system
     }
 
@@ -186,33 +304,59 @@ impl<'a> AsapSystem<'a> {
         *self.stats.lock()
     }
 
+    /// Advances the monotonic virtual clock (late values are ignored).
+    pub fn advance_to(&self, now_ms: u64) {
+        let mut clock = self.clock_ms.lock();
+        *clock = (*clock).max(now_ms);
+    }
+
+    /// The current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        *self.clock_ms.lock()
+    }
+
     /// The current primary surrogate of `cluster`.
     ///
     /// # Panics
     ///
     /// Panics if the cluster id is out of range.
     pub fn surrogate_of(&self, cluster: ClusterId) -> HostId {
-        self.surrogates.lock()[cluster.0 as usize][0]
+        self.replicas.lock()[cluster.0 as usize].active[0]
     }
 
-    /// All current surrogates of `cluster` (large clusters elect several;
-    /// §6.3).
+    /// All current active surrogates of `cluster` (large clusters elect
+    /// several; §6.3).
     ///
     /// # Panics
     ///
     /// Panics if the cluster id is out of range.
     pub fn surrogates_of(&self, cluster: ClusterId) -> Vec<HostId> {
-        self.surrogates.lock()[cluster.0 as usize].clone()
+        self.replicas.lock()[cluster.0 as usize].active.clone()
+    }
+
+    /// The current warm standbys of `cluster`, best first.
+    pub fn standbys_of(&self, cluster: ClusterId) -> Vec<HostId> {
+        self.replicas.lock()[cluster.0 as usize].standbys.clone()
+    }
+
+    /// A snapshot of `cluster`'s full replica set.
+    pub fn replica_set_of(&self, cluster: ClusterId) -> ReplicaSet {
+        self.replicas.lock()[cluster.0 as usize].clone()
     }
 
     /// The surrogate of `cluster` that serves `requester`'s close-set
-    /// request: requests are spread across the cluster's surrogates by
-    /// requester hash, and the chosen surrogate's load counter is bumped.
+    /// request: requests are spread across the cluster's usable
+    /// surrogates by requester hash, and the chosen surrogate's load
+    /// counter is bumped.
     pub fn serving_surrogate(&self, cluster: ClusterId, requester: HostId) -> HostId {
-        let surrogates = self.surrogates.lock();
-        let list = &surrogates[cluster.0 as usize];
-        let pick = list[(requester.0 as usize) % list.len()];
-        drop(surrogates);
+        let actives = self.surrogates_of(cluster);
+        let usable: Vec<HostId> = actives
+            .iter()
+            .copied()
+            .filter(|&h| self.host_usable(h))
+            .collect();
+        let pool = if usable.is_empty() { &actives } else { &usable };
+        let pick = pool[(requester.0 as usize) % pool.len()];
         *self
             .surrogate_load
             .lock()
@@ -231,11 +375,12 @@ impl<'a> AsapSystem<'a> {
             .unwrap_or(0)
     }
 
-    /// Elects the best online members of `cluster`: highest nodal
-    /// capability (discounted by access delay), ties to the lower host
-    /// id; large clusters elect several surrogates.
-    fn elect(&self, cluster: ClusterId) -> Vec<HostId> {
-        let offline = self.offline.lock();
+    /// Elects a fresh replica set for `cluster`: highest nodal capability
+    /// (discounted by access delay), ties to the lower host id. Prefers
+    /// usable members, then merely-online ones, then anyone; `exclude`
+    /// is kept out unless it would empty every pool. The returned epoch
+    /// is 0 — callers continuing an existing cluster must set it.
+    fn elect_split(&self, cluster: ClusterId, exclude: &[HostId]) -> ReplicaSet {
         let members = self.scenario.population.cluster_members(cluster);
         // Surrogates must be powerful *and* well connected: a capable host
         // behind a slow access link would make the whole cluster look far
@@ -244,18 +389,38 @@ impl<'a> AsapSystem<'a> {
             let host = self.scenario.population.host(h);
             host.nodal.capability() - host.access_ms / 100.0
         };
-        let mut online: Vec<HostId> = members
+        let pick_pool = |pred: &dyn Fn(HostId) -> bool| -> Vec<HostId> {
+            members
+                .iter()
+                .copied()
+                .filter(|&h| !exclude.contains(&h) && pred(h))
+                .collect()
+        };
+        let mut pool = pick_pool(&|h| self.host_usable(h));
+        if pool.is_empty() {
+            pool = pick_pool(&|h| self.is_online(h));
+        }
+        if pool.is_empty() {
+            pool = pick_pool(&|_| true);
+        }
+        if pool.is_empty() {
+            pool = members.clone();
+        }
+        pool.sort_by(|&a, &b| score(b).total_cmp(&score(a)).then(a.cmp(&b)));
+        let actives_n = self.surrogate_count(members.len());
+        let active: Vec<HostId> = pool.iter().copied().take(actives_n).collect();
+        let standbys: Vec<HostId> = pool
             .iter()
             .copied()
-            .filter(|h| !offline[h.0 as usize])
+            .skip(actives_n)
+            .take(self.config.membership.standbys)
             .collect();
-        if online.is_empty() {
-            online = members.clone();
-        }
-        online.sort_by(|&a, &b| score(b).total_cmp(&score(a)).then(a.cmp(&b)));
-        online.truncate(self.surrogate_count(members.len()));
         self.stats.lock().elections += 1;
-        online
+        ReplicaSet {
+            active,
+            standbys,
+            epoch: 0,
+        }
     }
 
     /// Whether `host` is currently online.
@@ -263,10 +428,61 @@ impl<'a> AsapSystem<'a> {
         !self.offline.lock()[host.0 as usize]
     }
 
+    /// Physical reachability: online and not behind an AS partition.
+    fn host_reachable(&self, host: HostId) -> bool {
+        if self.offline.lock()[host.0 as usize] {
+            return false;
+        }
+        let asn = self.scenario.population.host(host).asn.0;
+        !self.partitioned.lock().contains(&asn)
+    }
+
+    /// Whether the system would route through `host`: physically
+    /// reachable (a setup ping would answer) *and* not declared dead by
+    /// the suspicion detector.
+    pub fn host_usable(&self, host: HostId) -> bool {
+        self.host_reachable(host) && self.relay_verdict(host) != Verdict::Dead
+    }
+
+    /// The suspicion verdict on `host` at the current virtual time
+    /// (unmonitored hosts are [`Verdict::Alive`]).
+    pub fn relay_verdict(&self, host: HostId) -> Verdict {
+        let now = self.now_ms();
+        self.membership.lock().verdict(host.0, now)
+    }
+
+    /// Whether `cluster`'s control plane can answer a close-set request:
+    /// at least one active surrogate is usable.
+    pub fn cluster_control_usable(&self, cluster: ClusterId) -> bool {
+        let actives = self.surrogates_of(cluster);
+        actives.iter().any(|&h| self.host_usable(h))
+    }
+
     /// The current surrogate epoch of `cluster` (advances on every
-    /// re-election or forced staleness).
+    /// handoff, re-election, or forced staleness).
     pub fn surrogate_epoch(&self, cluster: ClusterId) -> u64 {
-        self.epochs.lock()[cluster.0 as usize]
+        self.replicas.lock()[cluster.0 as usize].epoch
+    }
+
+    /// The ladder state of `cluster` (for soak-harness assertions).
+    pub fn ladder_of(&self, cluster: ClusterId) -> DegradationLadder {
+        self.ladders.lock()[cluster.0 as usize]
+    }
+
+    /// Cuts `asn` off: its hosts stay up but no traffic crosses the
+    /// partition, so heartbeats stop and fetches into it fail.
+    pub fn partition_as(&self, asn: u32) {
+        self.partitioned.lock().insert(asn);
+    }
+
+    /// Heals a partition: traffic (and heartbeats) flow again.
+    pub fn heal_as(&self, asn: u32) {
+        self.partitioned.lock().remove(&asn);
+    }
+
+    /// Whether `asn` is currently partitioned.
+    pub fn is_partitioned(&self, asn: u32) -> bool {
+        self.partitioned.lock().contains(&asn)
     }
 
     /// Installs (or clears) an injected control-message drop decider.
@@ -276,55 +492,269 @@ impl<'a> AsapSystem<'a> {
         *self.message_faults.lock() = faults;
     }
 
-    /// Handles a surrogate failure: marks the host offline, elects a
-    /// replacement, and invalidates cached close sets (they may list the
-    /// failed surrogate as a relay representative).
+    /// Handles an announced primary-surrogate failure: marks the host
+    /// offline and hands off (or re-elects). Returns the new primary.
     pub fn fail_surrogate(&self, cluster: ClusterId) -> HostId {
         let old = self.surrogate_of(cluster);
         self.crash_host(old);
         self.surrogate_of(cluster)
     }
 
-    /// An ungraceful host departure. If the host was serving as one of
-    /// its cluster's surrogates, the cluster re-elects immediately, its
-    /// surrogate epoch advances, and every cached close set referencing
-    /// the cluster is dropped (instead of the sledgehammer of clearing
-    /// the whole cache). Returns `true` when a re-election happened.
+    /// An *announced* ungraceful departure: cluster peers notice the
+    /// closed connection immediately. An active surrogate triggers a
+    /// quorum handoff (warm when possible, cold re-election otherwise);
+    /// a standby is replaced in place. Returns `true` when the active
+    /// surrogate set changed.
     pub fn crash_host(&self, host: HostId) -> bool {
-        {
-            let mut offline = self.offline.lock();
-            if offline[host.0 as usize] {
-                return false; // already down
-            }
-            offline[host.0 as usize] = true;
+        if !self.mark_offline(host) {
+            return false; // already down
         }
         let cluster = self.scenario.population.cluster_of(host);
-        if !self.surrogates.lock()[cluster.0 as usize].contains(&host) {
+        let (is_active, is_standby) = {
+            let replicas = self.replicas.lock();
+            let rs = &replicas[cluster.0 as usize];
+            (rs.active.contains(&host), rs.standbys.contains(&host))
+        };
+        if is_active {
+            self.handle_surrogate_loss(cluster, host);
+            true
+        } else {
+            if is_standby {
+                self.replicas.lock()[cluster.0 as usize]
+                    .standbys
+                    .retain(|&h| h != host);
+                self.backfill_standbys(cluster);
+            }
+            false
+        }
+    }
+
+    /// A *silent* crash: the host dies without anyone noticing. Replica
+    /// roles it held are only recovered once the suspicion detector
+    /// declares it dead at a later [`AsapSystem::membership_tick`].
+    /// Returns `true` when the host held an active surrogate role.
+    pub fn silent_crash(&self, host: HostId) -> bool {
+        if !self.mark_offline(host) {
             return false;
         }
-        let new = self.elect(cluster);
-        self.surrogates.lock()[cluster.0 as usize] = new;
-        self.bump_epoch(cluster);
-        let members = self.scenario.population.cluster_members(cluster).len() as u64;
-        let mut stats = self.stats.lock();
-        stats.recovery.re_elections += 1;
-        // Bootstrap notification (2 messages) plus one per member.
-        stats.recovery.recovery_messages += 2 + members;
+        let cluster = self.scenario.population.cluster_of(host);
+        self.replicas.lock()[cluster.0 as usize]
+            .active
+            .contains(&host)
+    }
+
+    /// Marks `host` offline; `false` if it already was.
+    fn mark_offline(&self, host: HostId) -> bool {
+        let mut offline = self.offline.lock();
+        if offline[host.0 as usize] {
+            return false;
+        }
+        offline[host.0 as usize] = true;
         true
     }
 
-    /// Forces `cluster`'s close-set epoch stale — as if its surrogate set
-    /// rotated — so every cached close set referencing it rebuilds on
-    /// next use (the `StaleCloseSet` fault).
-    pub fn expire_close_set(&self, cluster: ClusterId) {
-        self.bump_epoch(cluster);
+    /// Replaces the lost active surrogate `lost` of `cluster`. With a
+    /// usable quorum of the replica set (survivors × 2 ≥ set size) and a
+    /// usable standby, the standby is promoted warm: the epoch advances
+    /// but cached close sets are refreshed in place. Otherwise the
+    /// cluster cold-re-elects and dependent cache entries are purged.
+    fn handle_surrogate_loss(&self, cluster: ClusterId, lost: HostId) {
+        let (set_size, slot, survivors) = {
+            let replicas = self.replicas.lock();
+            let rs = &replicas[cluster.0 as usize];
+            let members = rs.members();
+            (
+                members.len(),
+                rs.active.iter().position(|&h| h == lost),
+                members
+                    .into_iter()
+                    .filter(|&h| h != lost)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let Some(slot) = slot else {
+            return; // not an active surrogate (already demoted)
+        };
+        let usable: Vec<HostId> = survivors
+            .iter()
+            .copied()
+            .filter(|&h| self.host_usable(h))
+            .collect();
+        let quorum = usable.len() * 2 >= set_size;
+        let promoted = {
+            let replicas = self.replicas.lock();
+            let standbys = &replicas[cluster.0 as usize].standbys;
+            usable.iter().copied().find(|h| standbys.contains(h))
+        };
+        if let (true, Some(promoted)) = (quorum, promoted) {
+            let epoch = {
+                let mut replicas = self.replicas.lock();
+                let rs = &mut replicas[cluster.0 as usize];
+                rs.active[slot] = promoted;
+                rs.standbys.retain(|&h| h != promoted);
+                rs.epoch += 1;
+                rs.epoch
+            };
+            self.refresh_epoch(cluster, epoch);
+            self.backfill_standbys(cluster);
+            let mut stats = self.stats.lock();
+            stats.recovery.warm_handoffs += 1;
+            // One quorum round among the replica set plus the bootstrap
+            // notification.
+            stats.recovery.recovery_messages += 2 + set_size as u64;
+        } else {
+            let mut fresh = self.elect_split(cluster, &[lost]);
+            let new_members = fresh.members();
+            {
+                let mut replicas = self.replicas.lock();
+                fresh.epoch = replicas[cluster.0 as usize].epoch + 1;
+                replicas[cluster.0 as usize] = fresh;
+            }
+            self.purge_referencing(cluster);
+            {
+                let mut view = self.membership.lock();
+                for h in new_members {
+                    view.watch(h.0);
+                }
+            }
+            let members = self.scenario.population.cluster_members(cluster).len() as u64;
+            let mut stats = self.stats.lock();
+            stats.recovery.re_elections += 1;
+            if !quorum {
+                stats.recovery.quorum_failures += 1;
+            }
+            // Bootstrap notification (2 messages) plus one per member.
+            stats.recovery.recovery_messages += 2 + members;
+        }
     }
 
-    /// Advances `cluster`'s surrogate epoch and eagerly purges every
-    /// cached close set that references it, so no stale entry can ever
-    /// be served.
-    fn bump_epoch(&self, cluster: ClusterId) {
-        self.epochs.lock()[cluster.0 as usize] += 1;
+    /// Tops the standby list back up to the configured size with the
+    /// best usable members not already in the replica set.
+    fn backfill_standbys(&self, cluster: ClusterId) {
+        let want = self.config.membership.standbys;
+        let score = |h: HostId| {
+            let host = self.scenario.population.host(h);
+            host.nodal.capability() - host.access_ms / 100.0
+        };
+        loop {
+            let (current, have) = {
+                let replicas = self.replicas.lock();
+                let rs = &replicas[cluster.0 as usize];
+                (rs.members(), rs.standbys.len())
+            };
+            if have >= want {
+                return;
+            }
+            let candidate = self
+                .scenario
+                .population
+                .cluster_members(cluster)
+                .iter()
+                .copied()
+                .filter(|h| !current.contains(h) && self.host_usable(*h))
+                .max_by(|&a, &b| score(a).total_cmp(&score(b)).then(b.cmp(&a)));
+            let Some(candidate) = candidate else {
+                return; // nobody left to recruit
+            };
+            self.replicas.lock()[cluster.0 as usize]
+                .standbys
+                .push(candidate);
+            self.membership.lock().watch(candidate.0);
+        }
+    }
+
+    /// One membership sweep at `now_ms`: every reachable monitored node
+    /// heartbeats, then active surrogates (and lingering standbys) whose
+    /// verdict is [`Verdict::Dead`] are demoted/replaced — unless the
+    /// whole cluster has no usable member, in which case the current set
+    /// is kept rather than churning pointless elections.
+    pub fn membership_tick(&self, now_ms: u64) -> MembershipTickReport {
+        self.advance_to(now_ms);
+        let watched = self.membership.lock().watched();
+        let mut heartbeats = 0u64;
+        for id in watched {
+            if self.host_reachable(HostId(id)) {
+                self.membership.lock().heartbeat(id, now_ms);
+                heartbeats += 1;
+            }
+        }
+        let cluster_count = self.replicas.lock().len();
+        let mut demoted = Vec::new();
+        for c in 0..cluster_count {
+            let cluster = ClusterId(c as u32);
+            let (dead_active, dead_standby) = {
+                let replicas = self.replicas.lock();
+                let view = self.membership.lock();
+                let rs = &replicas[c];
+                let dead = |h: &&HostId| view.verdict(h.0, now_ms) == Verdict::Dead;
+                (
+                    rs.active.iter().filter(dead).copied().collect::<Vec<_>>(),
+                    rs.standbys.iter().filter(dead).copied().collect::<Vec<_>>(),
+                )
+            };
+            if dead_active.is_empty() && dead_standby.is_empty() {
+                continue;
+            }
+            let members = self.scenario.population.cluster_members(cluster);
+            if !members.iter().any(|&h| self.host_usable(h)) {
+                continue; // nothing better to promote
+            }
+            for h in dead_active {
+                if !self.replicas.lock()[c].active.contains(&h) {
+                    continue; // a cold re-election already replaced it
+                }
+                self.stats.lock().recovery.suspected_dead += 1;
+                self.handle_surrogate_loss(cluster, h);
+                demoted.push(h);
+            }
+            let lingering: Vec<HostId> = {
+                let replicas = self.replicas.lock();
+                dead_standby
+                    .iter()
+                    .copied()
+                    .filter(|h| replicas[c].standbys.contains(h))
+                    .collect()
+            };
+            if !lingering.is_empty() {
+                self.stats.lock().recovery.suspected_dead += lingering.len() as u64;
+                self.replicas.lock()[c]
+                    .standbys
+                    .retain(|h| !lingering.contains(h));
+                self.backfill_standbys(cluster);
+            }
+        }
+        MembershipTickReport {
+            heartbeats,
+            demoted,
+        }
+    }
+
+    /// Forces `cluster`'s close-set epoch stale — as if its surrogate set
+    /// rotated without a handoff — so every cached close set referencing
+    /// it rebuilds on next use (the `StaleCloseSet` fault).
+    pub fn expire_close_set(&self, cluster: ClusterId) {
+        self.replicas.lock()[cluster.0 as usize].epoch += 1;
+        self.purge_referencing(cluster);
+    }
+
+    /// Warm handoff bookkeeping: cached close sets referencing `cluster`
+    /// adopt the new epoch in place. The content stays valid because
+    /// close sets are cluster-level and relays resolve through
+    /// `surrogate_of` at pick time.
+    fn refresh_epoch(&self, cluster: ClusterId, epoch: u64) {
+        let mut cache = self.close_sets.lock();
+        for entry in cache.values_mut() {
+            for dep in entry.deps.iter_mut() {
+                if dep.0 == cluster {
+                    dep.1 = epoch;
+                }
+            }
+        }
+    }
+
+    /// Eagerly purges every cached close set that references `cluster`,
+    /// so no stale entry can ever be served after a cold epoch change.
+    fn purge_referencing(&self, cluster: ClusterId) {
         let mut cache = self.close_sets.lock();
         let before = cache.len();
         cache.retain(|_, c| c.deps.iter().all(|&(cl, _)| cl != cluster));
@@ -337,13 +767,15 @@ impl<'a> AsapSystem<'a> {
 
     /// Whether every cached close set references only current-epoch
     /// surrogate sets (validation hook for the robustness tests: with
-    /// eager purging this must hold at every moment).
+    /// eager purging and in-place warm refreshes this must hold at every
+    /// moment).
     pub fn cache_epoch_consistent(&self) -> bool {
-        let epochs = self.epochs.lock();
-        self.close_sets
-            .lock()
-            .values()
-            .all(|c| c.deps.iter().all(|&(cl, e)| epochs[cl.0 as usize] == e))
+        let replicas = self.replicas.lock();
+        self.close_sets.lock().values().all(|c| {
+            c.deps
+                .iter()
+                .all(|&(cl, e)| replicas[cl.0 as usize].epoch == e)
+        })
     }
 
     /// The join flow (steps 1–4 of Fig. 8): the host learns its ASN and
@@ -362,31 +794,31 @@ impl<'a> AsapSystem<'a> {
 
     /// The close cluster set of `cluster`, constructing and caching it if
     /// the surrogate has not built one yet (or if the cached copy went
-    /// stale because a referenced cluster re-elected).
+    /// stale because a referenced cluster cold-re-elected).
     pub fn close_set_of(&self, cluster: ClusterId) -> Arc<CloseClusterSet> {
         {
-            let epochs = self.epochs.lock();
+            let replicas = self.replicas.lock();
             let mut cache = self.close_sets.lock();
             if let Some(cached) = cache.get(&cluster) {
                 if cached
                     .deps
                     .iter()
-                    .all(|&(cl, e)| epochs[cl.0 as usize] == e)
+                    .all(|&(cl, e)| replicas[cl.0 as usize].epoch == e)
                 {
                     return Arc::clone(&cached.set);
                 }
                 // Defensive: eager purging should have removed it.
                 cache.remove(&cluster);
                 drop(cache);
-                drop(epochs);
+                drop(replicas);
                 self.stats.lock().recovery.cache_invalidations += 1;
             }
         }
-        let surrogates: Vec<Vec<HostId>> = self.surrogates.lock().clone();
+        let primaries: Vec<HostId> = self.replicas.lock().iter().map(|r| r.active[0]).collect();
         let set = Arc::new(construct_close_cluster_set(
             self.scenario,
             &self.index,
-            &|c: ClusterId| surrogates[c.0 as usize][0],
+            &|c: ClusterId| primaries[c.0 as usize],
             cluster,
             &self.config,
         ));
@@ -395,66 +827,175 @@ impl<'a> AsapSystem<'a> {
         stats.construction_messages += set.construction_messages;
         drop(stats);
         // Snapshot the epochs of every referenced cluster; the entry dies
-        // with the first of them to advance.
-        let epochs = self.epochs.lock();
-        let mut deps = vec![(cluster, epochs[cluster.0 as usize])];
+        // with the first of them to cold-advance.
+        let built_at_ms = self.now_ms();
+        let replicas = self.replicas.lock();
+        let mut deps = vec![(cluster, replicas[cluster.0 as usize].epoch)];
         for entry in set.entries() {
-            deps.push((entry.cluster, epochs[entry.cluster.0 as usize]));
+            deps.push((entry.cluster, replicas[entry.cluster.0 as usize].epoch));
         }
-        drop(epochs);
-        self.close_sets.lock().entry(cluster).or_insert(CachedCloseSet {
-            deps,
-            set: Arc::clone(&set),
-        });
+        drop(replicas);
+        self.close_sets
+            .lock()
+            .entry(cluster)
+            .or_insert(CachedCloseSet {
+                deps,
+                set: Arc::clone(&set),
+                built_at_ms,
+            });
         Arc::clone(&set)
     }
 
-    /// Fetches a close cluster set over a possibly-faulty control plane:
-    /// each request/reply round trip can be dropped by the injected
-    /// [`MessageDrops`], in which case the requester times out, waits the
-    /// [`AsapConfig::retry`] backoff, and re-sends — bounded by
-    /// `max_retries`, after which it escalates to the cluster's replica
-    /// surrogate out of band (modeled as succeeding). Returns the set
-    /// plus the extra messages spent on dropped attempts.
-    fn fetch_close_set_recovering(
+    /// Fetches a close cluster set over a possibly-degraded control
+    /// plane, returning the set (if any), the service-ladder rung it was
+    /// obtained at, and the extra messages spent on dropped attempts.
+    ///
+    /// With a usable surrogate the request goes through the
+    /// [`AsapConfig::retry`] schedule against the injected
+    /// [`MessageDrops`]; success is the full protocol. When the surrogate
+    /// is unreachable (or every retry was eaten), the caller walks the
+    /// ladder: a cached set of bounded age serves the stale rung,
+    /// otherwise the caller must fall back to relay probing.
+    fn fetch_close_set_degraded(
         &self,
         cluster: ClusterId,
         requester: HostId,
-    ) -> (Arc<CloseClusterSet>, u64) {
-        let faults = *self.message_faults.lock();
-        let Some(faults) = faults else {
-            return (self.close_set_of(cluster), 0);
-        };
-        let retry = self.config.retry;
+    ) -> (Option<Arc<CloseClusterSet>>, DegradationLevel, u64) {
         let mut extra = 0u64;
-        for attempt in 0..=retry.max_retries {
-            let key = (u64::from(requester.0) << 34)
-                ^ (u64::from(cluster.0) << 8)
-                ^ u64::from(attempt);
-            if !faults.drops(key) {
-                return (self.close_set_of(cluster), extra);
+        if self.cluster_control_usable(cluster) {
+            let faults = *self.message_faults.lock();
+            let Some(faults) = faults else {
+                return (
+                    Some(self.close_set_of(cluster)),
+                    DegradationLevel::FullAsap,
+                    0,
+                );
+            };
+            let retry = self.config.retry;
+            for attempt in 0..=retry.max_retries {
+                let key = (u64::from(requester.0) << 34)
+                    ^ (u64::from(cluster.0) << 8)
+                    ^ u64::from(attempt);
+                if !faults.drops(key) {
+                    return (
+                        Some(self.close_set_of(cluster)),
+                        DegradationLevel::FullAsap,
+                        extra,
+                    );
+                }
+                extra += 2; // the wasted request/reply pair
+                let mut stats = self.stats.lock();
+                stats.recovery.timeouts += 1;
+                stats.recovery.retries += 1;
+                stats.recovery.recovery_messages += 2;
+                stats.recovery.stabilization_ticks += retry.backoff_ms(attempt, key);
             }
-            extra += 2; // the wasted request/reply pair
-            let mut stats = self.stats.lock();
-            stats.recovery.timeouts += 1;
-            stats.recovery.retries += 1;
-            stats.recovery.recovery_messages += 2;
-            stats.recovery.stabilization_ticks += retry.backoff_ms(attempt, key);
         }
-        (self.close_set_of(cluster), extra)
+        // Degraded service: the surrogate is unreachable or every retry
+        // was eaten. A cached set of bounded age still beats probing.
+        let now = self.now_ms();
+        let cached = {
+            let cache = self.close_sets.lock();
+            cache.get(&cluster).and_then(|c| {
+                (now.saturating_sub(c.built_at_ms) <= self.config.membership.stale_set_max_age_ms)
+                    .then(|| Arc::clone(&c.set))
+            })
+        };
+        match cached {
+            Some(set) => {
+                self.stats.lock().recovery.stale_sets_served += 1;
+                (Some(set), DegradationLevel::StaleCloseSet, extra)
+            }
+            None => (None, DegradationLevel::RandomProbe, extra),
+        }
+    }
+
+    /// Whether `a` and `b` can exchange packets at all: same AS, or
+    /// neither side behind a partition.
+    fn pair_connected(&self, a: HostId, b: HostId) -> bool {
+        let asn_a = self.scenario.population.host(a).asn.0;
+        let asn_b = self.scenario.population.host(b).asn.0;
+        if asn_a == asn_b {
+            return true;
+        }
+        let partitioned = self.partitioned.lock();
+        !partitioned.contains(&asn_a) && !partitioned.contains(&asn_b)
+    }
+
+    /// MIX-style deterministic random probing: the last resort before
+    /// going direct. Candidate relays are drawn by hashing (caller,
+    /// callee, attempt) over the whole population — AS-blind, no
+    /// surrogate involved — and the best responding one-hop path wins
+    /// even above `latT`. Returns the best path and the probes sent.
+    fn probe_relays(&self, caller: HostId, callee: HostId) -> (Option<ChosenPath>, u64) {
+        let host_count = self.scenario.population.hosts().len() as u64;
+        let mut attempts = 0u64;
+        let mut best: Option<ChosenPath> = None;
+        for i in 0..self.config.membership.mix_probes {
+            let key = (u64::from(caller.0) << 40) ^ (u64::from(callee.0) << 16) ^ i as u64;
+            let h = HostId((mix64(key) % host_count) as u32);
+            if h == caller || h == callee || !self.host_usable(h) {
+                continue;
+            }
+            attempts += 1;
+            let Some(rtt) = self.scenario.one_hop_rtt_ms(caller, h, callee) else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|b| rtt < b.rtt_ms) {
+                best = Some(ChosenPath {
+                    relays: vec![h],
+                    rtt_ms: rtt,
+                    loss: self.scenario.one_hop_loss(caller, h, callee).unwrap_or(1.0),
+                });
+            }
+        }
+        (best, attempts)
+    }
+
+    /// Records the rung `cluster` was served at and folds ladder
+    /// transitions into the recovery stats.
+    fn observe_ladder(&self, cluster: ClusterId, level: DegradationLevel, now_ms: u64) {
+        let (down, up) = {
+            let mut ladders = self.ladders.lock();
+            let ladder = &mut ladders[cluster.0 as usize];
+            let (d0, r0) = (ladder.downgrades, ladder.recoveries);
+            ladder.observe(level, now_ms);
+            (ladder.downgrades - d0, ladder.recoveries - r0)
+        };
+        if down + up > 0 {
+            let mut stats = self.stats.lock();
+            stats.recovery.downgrades += down;
+            stats.recovery.ladder_recoveries += up;
+        }
     }
 
     /// Places a call (steps 5–10 of Fig. 8): ping the direct route; if it
-    /// violates `latT`, run `select-close-relay()` and pick the most
-    /// suitable relay(s).
+    /// violates `latT`, walk the service ladder — `select-close-relay()`
+    /// over fresh or bounded-stale close sets, then MIX-style random
+    /// probing, then the direct path even above `latT`.
     pub fn call(&self, caller: HostId, callee: HostId) -> CallOutcome {
-        let mut messages = 2; // direct-route ping + reply
+        let now = self.now_ms();
+        let mut messages = 2; // direct-route ping + reply (or its timeout)
+        self.stats.lock().calls += 1;
+
+        if !self.pair_connected(caller, callee) {
+            // The direct ping times out, and no relay can bridge into a
+            // partitioned AS either: the call fails outright.
+            let mut stats = self.stats.lock();
+            stats.relayed_calls += 1;
+            stats.session_messages += messages;
+            return CallOutcome {
+                direct_rtt_ms: None,
+                used_direct: false,
+                selection: None,
+                chosen: None,
+                messages,
+                degradation: DegradationLevel::FullAsap,
+            };
+        }
+
         let direct_rtt_ms = self.scenario.host_rtt_ms(caller, callee);
         let direct_loss = self.scenario.host_loss(caller, callee).unwrap_or(1.0);
-        {
-            let mut stats = self.stats.lock();
-            stats.calls += 1;
-        }
 
         if let Some(rtt) = direct_rtt_ms {
             if rtt < self.config.lat_t_ms {
@@ -471,33 +1012,86 @@ impl<'a> AsapSystem<'a> {
                         loss: direct_loss,
                     }),
                     messages,
+                    degradation: DegradationLevel::FullAsap,
                 };
             }
         }
 
         let caller_cluster = self.scenario.population.cluster_of(caller);
         let callee_cluster = self.scenario.population.cluster_of(callee);
-        let (caller_set, extra1) = self.fetch_close_set_recovering(caller_cluster, caller);
-        let (callee_set, extra2) = self.fetch_close_set_recovering(callee_cluster, caller);
+
+        // A same-AS pair inside a partition can reach no relay outside:
+        // serve the direct path, the last rung.
+        let isolated = {
+            let partitioned = self.partitioned.lock();
+            partitioned.contains(&self.scenario.population.host(caller).asn.0)
+                || partitioned.contains(&self.scenario.population.host(callee).asn.0)
+        };
+        if isolated {
+            self.stats.lock().recovery.forced_direct += 1;
+            self.observe_ladder(caller_cluster, DegradationLevel::DirectOnly, now);
+            let mut stats = self.stats.lock();
+            stats.relayed_calls += 1;
+            stats.session_messages += messages;
+            drop(stats);
+            return CallOutcome {
+                direct_rtt_ms,
+                used_direct: false,
+                selection: None,
+                chosen: direct_rtt_ms.map(|rtt| ChosenPath {
+                    relays: Vec::new(),
+                    rtt_ms: rtt,
+                    loss: direct_loss,
+                }),
+                messages,
+                degradation: DegradationLevel::DirectOnly,
+            };
+        }
+
+        let (caller_set, rung1, extra1) = self.fetch_close_set_degraded(caller_cluster, caller);
+        let (callee_set, rung2, extra2) = self.fetch_close_set_degraded(callee_cluster, caller);
         messages += extra1 + extra2;
+        let mut level = rung1.max(rung2);
+        let mut selection = None;
+        let chosen;
 
-        let clustering = self.scenario.population.clustering();
-        let cluster_size = |c: ClusterId| clustering.cluster(c).len() as u64;
-        let mut fetch = |c: ClusterId| (*self.close_set_of(c)).clone();
-        let selection = select_close_relay(
-            &caller_set,
-            &callee_set,
-            &self.config,
-            &cluster_size,
-            &mut fetch,
-        );
-        messages += selection.messages;
+        if let (Some(caller_set), Some(callee_set)) = (caller_set, callee_set) {
+            let clustering = self.scenario.population.clustering();
+            let cluster_size = |c: ClusterId| clustering.cluster(c).len() as u64;
+            let mut fetch = |c: ClusterId| (*self.close_set_of(c)).clone();
+            let sel = select_close_relay(
+                &caller_set,
+                &callee_set,
+                &self.config,
+                &cluster_size,
+                &mut fetch,
+            );
+            messages += sel.messages;
+            // "Comprehensively considering" the candidates: evaluate the
+            // top few by true path RTT (their surrogates' measurements
+            // are estimates) and keep the best.
+            chosen = self.pick_best(caller, callee, &sel, &[]);
+            selection = Some(sel);
+        } else {
+            level = level.max(DegradationLevel::RandomProbe);
+            let (best, attempts) = self.probe_relays(caller, callee);
+            messages += 2 * attempts;
+            self.stats.lock().recovery.probe_fallbacks += 1;
+            match best {
+                Some(path) => chosen = Some(path),
+                None => {
+                    level = DegradationLevel::DirectOnly;
+                    self.stats.lock().recovery.forced_direct += 1;
+                    chosen = direct_rtt_ms.map(|rtt| ChosenPath {
+                        relays: Vec::new(),
+                        rtt_ms: rtt,
+                        loss: direct_loss,
+                    });
+                }
+            }
+        }
 
-        // "Comprehensively considering" the candidates: evaluate the top
-        // few by true path RTT (their surrogates' measurements are
-        // estimates) and keep the best.
-        let chosen = self.pick_best(caller, callee, &selection, &[]);
-
+        self.observe_ladder(caller_cluster, level, now);
         let mut stats = self.stats.lock();
         stats.relayed_calls += 1;
         stats.session_messages += messages;
@@ -506,15 +1100,18 @@ impl<'a> AsapSystem<'a> {
         CallOutcome {
             direct_rtt_ms,
             used_direct: false,
-            selection: Some(selection),
+            selection,
             chosen,
             messages,
+            degradation: level,
         }
     }
 
     /// Evaluates the top candidates of a selection against the true
     /// network and returns the best concrete path. Relays that are
-    /// offline or explicitly `dead` (known-failed mid-call) are skipped.
+    /// unusable — offline, behind a partition (the setup ping would time
+    /// out), suspected dead, or explicitly listed in `dead` — are
+    /// skipped.
     fn pick_best(
         &self,
         caller: HostId,
@@ -548,7 +1145,7 @@ impl<'a> AsapSystem<'a> {
             if relay == caller
                 || relay == callee
                 || dead.contains(&relay)
-                || !self.is_online(relay)
+                || !self.host_usable(relay)
             {
                 continue;
             }
@@ -572,8 +1169,8 @@ impl<'a> AsapSystem<'a> {
             }
             if dead.contains(&r1)
                 || dead.contains(&r2)
-                || !self.is_online(r1)
-                || !self.is_online(r2)
+                || !self.host_usable(r1)
+                || !self.host_usable(r2)
             {
                 continue;
             }
@@ -601,7 +1198,7 @@ impl<'a> AsapSystem<'a> {
     /// Mid-call relay failover: the call's relay died, so re-pick from
     /// the *cached* candidate set (no new `select-close-relay()` run),
     /// skipping `dead` hosts and any cluster whose surrogates are all
-    /// offline. Falls back to a two-hop pair, then to the direct path
+    /// unusable. Falls back to a two-hop pair, then to the direct path
     /// even above `latT` — a degraded call beats a dropped one. Returns
     /// `None` only when the pair is truly partitioned.
     pub fn failover_path(
@@ -612,16 +1209,16 @@ impl<'a> AsapSystem<'a> {
         dead: &[HostId],
     ) -> Option<ChosenPath> {
         // A cluster is only unusable when every surrogate is down — a
-        // crash of the primary redirects `surrogate_of` to the re-elected
-        // replacement automatically.
+        // crash of the primary redirects `surrogate_of` to the promoted
+        // standby (or re-elected replacement) automatically.
         let dead_clusters: Vec<ClusterId> = dead
             .iter()
             .map(|&h| self.scenario.population.cluster_of(h))
-            .filter(|&c| self.surrogates_of(c).iter().all(|&s| !self.is_online(s)))
+            .filter(|&c| self.surrogates_of(c).iter().all(|&s| !self.host_usable(s)))
             .collect();
         let filtered = selection.excluding(&dead_clusters);
         let mut best = self.pick_best(caller, callee, &filtered, dead);
-        if best.is_none() {
+        if best.is_none() && self.pair_connected(caller, callee) {
             if let Some(rtt) = self.scenario.host_rtt_ms(caller, callee) {
                 best = Some(ChosenPath {
                     relays: Vec::new(),
@@ -648,6 +1245,16 @@ mod tests {
         Scenario::build(ScenarioConfig::tiny(), 21)
     }
 
+    /// A cluster with at least `n` members, or a skip.
+    fn cluster_with(s: &Scenario, n: usize) -> Option<ClusterId> {
+        s.population
+            .clustering()
+            .clusters()
+            .iter()
+            .find(|c| c.len() >= n)
+            .map(|c| c.id())
+    }
+
     #[test]
     fn bootstrap_elects_most_capable_surrogates() {
         let s = scenario();
@@ -669,6 +1276,26 @@ mod tests {
     }
 
     #[test]
+    fn bootstrap_keeps_standbys_warm() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let want = AsapConfig::default().membership.standbys;
+        for c in s.population.clustering().clusters() {
+            let rs = system.replica_set_of(c.id());
+            assert!(!rs.active.is_empty());
+            assert_eq!(rs.epoch, 0);
+            // Standbys fill up to the configured count, bounded by the
+            // cluster size; none overlaps the active set.
+            let expect = want.min(c.len().saturating_sub(rs.active.len()));
+            assert_eq!(rs.standbys.len(), expect, "cluster {:?}", c.id());
+            for sb in &rs.standbys {
+                assert!(!rs.active.contains(sb));
+                assert_eq!(system.relay_verdict(*sb), Verdict::Alive);
+            }
+        }
+    }
+
+    #[test]
     fn fast_direct_calls_skip_selection() {
         let s = scenario();
         let system = AsapSystem::bootstrap(&s, AsapConfig::default());
@@ -681,6 +1308,7 @@ mod tests {
         assert!(out.used_direct);
         assert!(out.selection.is_none());
         assert_eq!(out.messages, 2);
+        assert_eq!(out.degradation, DegradationLevel::FullAsap);
         assert!(out.chosen.unwrap().relays.is_empty());
     }
 
@@ -696,6 +1324,7 @@ mod tests {
         };
         let out = system.call(slow.caller, slow.callee);
         assert!(!out.used_direct);
+        assert_eq!(out.degradation, DegradationLevel::FullAsap);
         let sel = out.selection.expect("selection ran");
         assert!(out.messages >= 4); // ping + 2 selection messages
         if let Some(chosen) = &out.chosen {
@@ -727,27 +1356,193 @@ mod tests {
     }
 
     #[test]
-    fn surrogate_failover_elects_someone_else_and_invalidates() {
+    fn surrogate_loss_with_standby_hands_off_warm() {
         let s = scenario();
         let system = AsapSystem::bootstrap(&s, AsapConfig::default());
-        // Pick a cluster with at least two members.
-        let cluster = s
-            .population
-            .clustering()
-            .clusters()
-            .iter()
-            .find(|c| c.len() >= 2)
-            .expect("some multi-member cluster")
-            .id();
+        let Some(cluster) = cluster_with(&s, 3) else {
+            return;
+        };
         let _ = system.close_set_of(cluster);
-        let old = system.surrogate_of(cluster);
-        let new = system.fail_surrogate(cluster);
-        assert_ne!(old, new, "failover must pick a different host");
-        assert!(s.population.cluster_members(cluster).contains(&new));
-        // Cache was invalidated: rebuilding bumps the counter.
         let built_before = system.stats().close_sets_built;
+        let old = system.surrogate_of(cluster);
+        let standby = system.standbys_of(cluster)[0];
+        let epoch_before = system.surrogate_epoch(cluster);
+        let new = system.fail_surrogate(cluster);
+        assert_ne!(old, new, "handoff must pick a different host");
+        assert_eq!(new, standby, "the best warm standby is promoted");
+        assert_eq!(system.surrogate_epoch(cluster), epoch_before + 1);
+        assert!(system.cache_epoch_consistent());
+        // Warm handoff refreshes dependent cache entries in place: no
+        // rebuild on the next request.
         let _ = system.close_set_of(cluster);
-        assert_eq!(system.stats().close_sets_built, built_before + 1);
+        assert_eq!(system.stats().close_sets_built, built_before);
+        let rec = system.stats().recovery;
+        assert_eq!(rec.warm_handoffs, 1);
+        assert_eq!(rec.re_elections, 0);
+        assert_eq!(rec.cache_invalidations, 0);
+    }
+
+    #[test]
+    fn exhausted_replica_set_cold_elects_and_purges() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let Some(cluster) = cluster_with(&s, 2) else {
+            return;
+        };
+        let _ = system.close_set_of(cluster);
+        // Kill the acting primary over and over. Backfill keeps topping
+        // the standby pool from the cluster, so the pool only runs dry
+        // once nearly every member is down — crash up to the whole
+        // cluster plus the replica-set margin.
+        let limit =
+            s.population.cluster_members(cluster).len() + system.replica_set_of(cluster).size() + 1;
+        for _ in 0..limit {
+            if system.stats().recovery.re_elections > 0 {
+                break;
+            }
+            system.fail_surrogate(cluster);
+        }
+        let rec = system.stats().recovery;
+        assert!(rec.re_elections >= 1, "quorum never failed: {rec:?}");
+        assert!(rec.quorum_failures >= 1);
+        // Cold election purged dependent entries and the cache stayed
+        // epoch-consistent throughout.
+        assert!(rec.cache_invalidations >= 1);
+        assert!(system.cache_epoch_consistent());
+        assert!(!system.surrogates_of(cluster).is_empty());
+    }
+
+    #[test]
+    fn silent_crash_is_caught_by_membership_ticks() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let Some(cluster) = cluster_with(&s, 3) else {
+            return;
+        };
+        let victim = system.surrogate_of(cluster);
+        assert!(system.silent_crash(victim));
+        // Nothing announced the crash: the role is still held.
+        assert_eq!(system.surrogate_of(cluster), victim);
+        let interval = system.config().membership.suspicion.heartbeat_interval_ms;
+        let mut demoted = false;
+        for k in 1..=120 {
+            let tick = system.membership_tick(k * interval);
+            if tick.demoted.contains(&victim) {
+                demoted = true;
+                break;
+            }
+        }
+        assert!(demoted, "the detector never declared the victim dead");
+        assert_ne!(system.surrogate_of(cluster), victim);
+        let rec = system.stats().recovery;
+        assert!(rec.suspected_dead >= 1);
+        assert!(rec.warm_handoffs + rec.re_elections >= 1);
+    }
+
+    #[test]
+    fn heartbeating_members_are_never_suspected() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let interval = system.config().membership.suspicion.heartbeat_interval_ms;
+        for k in 1..=60 {
+            let tick = system.membership_tick(k * interval);
+            assert!(tick.demoted.is_empty(), "healthy node demoted at tick {k}");
+        }
+        assert_eq!(system.stats().recovery.suspected_dead, 0);
+    }
+
+    #[test]
+    fn partition_degrades_fetch_then_heals() {
+        let s = scenario();
+        let config = AsapConfig::default();
+        let system = AsapSystem::bootstrap(&s, config);
+        let cluster = s.population.clustering().clusters()[0].id();
+        let member = s.population.cluster_members(cluster)[0];
+        let asn = s.population.host(member).asn.0;
+        // Warm the cache at t=0, then cut the AS off.
+        let _ = system.close_set_of(cluster);
+        system.partition_as(asn);
+        assert!(!system.cluster_control_usable(cluster));
+        let (set, level, _) = system.fetch_close_set_degraded(cluster, member);
+        assert_eq!(level, DegradationLevel::StaleCloseSet);
+        assert!(set.is_some(), "bounded-age cache must serve the stale rung");
+        assert_eq!(system.stats().recovery.stale_sets_served, 1);
+        // Once the cached copy ages out, only probing is left.
+        system.advance_to(config.membership.stale_set_max_age_ms + 1);
+        let (set, level, _) = system.fetch_close_set_degraded(cluster, member);
+        assert_eq!(level, DegradationLevel::RandomProbe);
+        assert!(set.is_none());
+        // Healing reopens the paths, and the next membership sweep
+        // delivers heartbeats again, clearing the Dead verdicts the
+        // silent 120 s earned every watched node.
+        system.heal_as(asn);
+        system.membership_tick(config.membership.stale_set_max_age_ms + 2);
+        assert!(system.cluster_control_usable(cluster));
+        let (set, level, _) = system.fetch_close_set_degraded(cluster, member);
+        assert_eq!(level, DegradationLevel::FullAsap);
+        assert!(set.is_some());
+    }
+
+    #[test]
+    fn probing_rung_serves_calls_without_any_close_set() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        // Every control message is eaten and nothing is cached: fetches
+        // land on the probing rung.
+        system.set_message_faults(Some(asap_netsim::MessageDrops::new(0.999, 5)));
+        let slow = sessions::generate(&s.population, 3000, 2)
+            .into_iter()
+            .find(|x| s.host_rtt_ms(x.caller, x.callee).is_some_and(|r| r > 300.0));
+        let Some(slow) = slow else {
+            return; // tiny worlds occasionally have no latent session
+        };
+        let out = system.call(slow.caller, slow.callee);
+        assert!(!out.used_direct);
+        assert!(out.selection.is_none(), "no close set means no selection");
+        assert!(out.degradation >= DegradationLevel::RandomProbe);
+        // Either probing found a relay or the call went forced-direct.
+        let rec = system.stats().recovery;
+        assert_eq!(rec.probe_fallbacks, 1);
+        match &out.chosen {
+            Some(p) if !p.relays.is_empty() => {
+                assert_eq!(out.degradation, DegradationLevel::RandomProbe);
+                assert!(system.host_usable(p.relays[0]));
+            }
+            Some(_) => assert_eq!(out.degradation, DegradationLevel::DirectOnly),
+            None => assert_eq!(out.degradation, DegradationLevel::DirectOnly),
+        }
+        // The ladder recorded the downgrade and recovers on the next
+        // healthy call.
+        assert!(system
+            .ladder_of(s.population.cluster_of(slow.caller))
+            .is_degraded());
+        system.set_message_faults(None);
+        let again = system.call(slow.caller, slow.callee);
+        assert_eq!(again.degradation, DegradationLevel::FullAsap);
+        assert!(!system
+            .ladder_of(s.population.cluster_of(slow.caller))
+            .is_degraded());
+        assert!(system.stats().recovery.ladder_recoveries >= 1);
+    }
+
+    #[test]
+    fn partitioned_pairs_cannot_call_across() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let hosts = s.population.hosts();
+        let a = hosts[0].id;
+        let b = hosts
+            .iter()
+            .find(|h| h.asn != hosts[0].asn)
+            .expect("another AS exists")
+            .id;
+        system.partition_as(s.population.host(a).asn.0);
+        let out = system.call(a, b);
+        assert!(out.chosen.is_none(), "no path can cross a partition");
+        assert!(out.direct_rtt_ms.is_none());
+        system.heal_as(s.population.host(a).asn.0);
+        let healed = system.call(a, b);
+        assert!(healed.direct_rtt_ms.is_some() || healed.chosen.is_none());
     }
 
     #[test]
@@ -870,8 +1665,7 @@ mod tests {
             return;
         };
         system.crash_host(dead_relay);
-        let replacement =
-            system.failover_path(slow.caller, slow.callee, &selection, &[dead_relay]);
+        let replacement = system.failover_path(slow.caller, slow.callee, &selection, &[dead_relay]);
         let path = replacement.expect("failover finds some path (direct at worst)");
         assert!(
             !path.relays.contains(&dead_relay),
@@ -909,6 +1703,8 @@ mod tests {
         assert_eq!(system.surrogate_of(cluster), surrogate);
         assert_eq!(system.surrogate_epoch(cluster), epoch_before);
         assert!(!system.is_online(bystander));
+        // A crashed standby never lingers in the replica set.
+        assert!(!system.standbys_of(cluster).contains(&bystander));
         // Crashing the same host twice is a no-op.
         assert!(!system.crash_host(bystander));
     }

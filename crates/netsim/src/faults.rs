@@ -62,6 +62,15 @@ pub enum FaultKind {
         /// Cluster whose epoch is bumped (`ClusterId.0`).
         cluster: u32,
     },
+    /// One AS is partitioned from the rest of the network: hosts inside
+    /// it stop heartbeating and answering control requests until the
+    /// partition heals. Unlike a crash, the hosts come back intact.
+    AsPartition {
+        /// The partitioned AS number.
+        asn: u32,
+        /// Partition duration, ms.
+        duration_ms: u64,
+    },
 }
 
 /// One scheduled fault.
@@ -107,6 +116,10 @@ pub struct FaultPlanConfig {
     pub drop_window_ms: (u64, u64),
     /// Per-tick probability of a forced-stale close-set epoch.
     pub stale_close_set_per_tick: f64,
+    /// Per-tick probability of an AS partition starting.
+    pub partition_per_tick: f64,
+    /// Duration range of an AS partition, ms.
+    pub partition_ms: (u64, u64),
 }
 
 impl Default for FaultPlanConfig {
@@ -126,6 +139,8 @@ impl Default for FaultPlanConfig {
             drop_prob: (0.2, 0.8),
             drop_window_ms: (5_000, 20_000),
             stale_close_set_per_tick: 0.0,
+            partition_per_tick: 0.0,
+            partition_ms: (20_000, 90_000),
         }
     }
 }
@@ -157,8 +172,12 @@ impl FaultPlan {
             config.congestion_per_tick,
             config.drop_window_per_tick,
             config.stale_close_set_per_tick,
+            config.partition_per_tick,
         ] {
-            assert!((0.0..1.0).contains(&p), "fault probability {p} not in [0, 1)");
+            assert!(
+                (0.0..1.0).contains(&p),
+                "fault probability {p} not in [0, 1)"
+            );
         }
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xFA01_7135);
         let mut events = Vec::new();
@@ -210,6 +229,15 @@ impl FaultPlan {
                     at_ms: at,
                     kind: FaultKind::StaleCloseSet {
                         cluster: rng.gen_range(0..clusters),
+                    },
+                });
+            }
+            if !asns.is_empty() && rng.gen_bool(config.partition_per_tick) {
+                events.push(FaultEvent {
+                    at_ms: at,
+                    kind: FaultKind::AsPartition {
+                        asn: asns[rng.gen_range(0..asns.len())],
+                        duration_ms: rng.gen_range(config.partition_ms.0..=config.partition_ms.1),
                     },
                 });
             }
@@ -374,6 +402,7 @@ mod tests {
             congestion_per_tick: 0.02,
             drop_window_per_tick: 0.02,
             stale_close_set_per_tick: 0.02,
+            partition_per_tick: 0.02,
             ..Default::default()
         }
     }
@@ -386,10 +415,7 @@ mod tests {
         assert_eq!(a, b);
         assert!(!a.is_empty(), "a crashy config must schedule something");
         let other = FaultPlan::generate(
-            &FaultPlanConfig {
-                seed: 8,
-                ..config
-            },
+            &FaultPlanConfig { seed: 8, ..config },
             40,
             1_000,
             &[1, 2, 3],
@@ -423,7 +449,9 @@ mod tests {
                     assert!(cluster < 5);
                 }
                 FaultKind::HostCrash { host } => assert!(host < 30),
-                FaultKind::AsCongestion { asn, .. } => assert!([42, 43].contains(&asn)),
+                FaultKind::AsCongestion { asn, .. } | FaultKind::AsPartition { asn, .. } => {
+                    assert!([42, 43].contains(&asn));
+                }
                 FaultKind::MessageDropWindow { drop_prob, .. } => {
                     assert!((0.0..1.0).contains(&drop_prob));
                 }

@@ -30,9 +30,11 @@
 pub mod events;
 pub mod faults;
 pub mod king;
+pub mod membership;
 mod model;
 
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, MessageDrops, RetryPolicy};
+pub use membership::{MembershipView, SuspicionConfig, SuspicionDetector, Verdict};
 pub use model::{AsCondition, NetConfig, NetModel};
 
 /// One-way packet forwarding delay added by an application-layer relay

@@ -3,7 +3,7 @@
 use std::sync::{Arc, OnceLock};
 
 use asap_netsim::events::{EventQueue, SimTime};
-use asap_netsim::{NetConfig, NetModel};
+use asap_netsim::{NetConfig, NetModel, SuspicionConfig, SuspicionDetector, Verdict};
 use asap_topology::{InternetConfig, InternetGenerator, SyntheticInternet};
 use proptest::prelude::*;
 
@@ -111,5 +111,78 @@ proptest! {
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+}
+
+proptest! {
+    /// Phi never decreases while a node stays silent: suspicion of a
+    /// quiet node only deepens as virtual time passes.
+    #[test]
+    fn phi_is_monotone_in_silence(
+        beats in 2u64..40,
+        jitter in 0u64..400,
+        probes in proptest::collection::vec(1u64..600_000, 1..24),
+    ) {
+        let config = SuspicionConfig::default();
+        let mut d = SuspicionDetector::new(config);
+        let interval = config.heartbeat_interval_ms;
+        let mut now = 0;
+        for k in 0..beats {
+            now = k * interval + (jitter * k) % 200;
+            d.heartbeat(now);
+        }
+        let mut offsets = probes;
+        offsets.sort_unstable();
+        let mut last_phi = 0.0f64;
+        for off in offsets {
+            let phi = d.phi(now + off);
+            prop_assert!(phi >= last_phi, "phi fell from {last_phi} to {phi} at +{off}ms");
+            prop_assert!(phi.is_finite() && phi >= 0.0);
+            last_phi = phi;
+        }
+    }
+
+    /// A heartbeat resets suspicion: right after hearing from a node,
+    /// phi is back near zero and the verdict is Alive, no matter how
+    /// dead the node looked a moment before.
+    #[test]
+    fn heartbeat_resets_suspicion(
+        beats in 2u64..20,
+        silence in 1u64..10_000_000,
+    ) {
+        let config = SuspicionConfig::default();
+        let mut d = SuspicionDetector::new(config);
+        let interval = config.heartbeat_interval_ms;
+        for k in 0..beats {
+            d.heartbeat(k * interval);
+        }
+        let quiet = (beats - 1) * interval + silence;
+        let before = d.phi(quiet);
+        d.heartbeat(quiet);
+        let after = d.phi(quiet);
+        prop_assert!(after <= before);
+        prop_assert!(after < config.phi_suspect);
+        prop_assert_eq!(d.verdict(quiet), Verdict::Alive);
+    }
+
+    /// A node that heartbeats every interval, even with bounded delivery
+    /// jitter, is never suspected — the detector's false-positive guard.
+    #[test]
+    fn regular_heartbeater_is_never_suspected(
+        beats in 3u64..80,
+        jitters in proptest::collection::vec(0u64..150, 3..80),
+    ) {
+        let config = SuspicionConfig::default();
+        let mut d = SuspicionDetector::new(config);
+        let interval = config.heartbeat_interval_ms;
+        let mut now = 0;
+        for k in 0..beats {
+            now = k * interval + jitters[k as usize % jitters.len()];
+            d.heartbeat(now);
+            prop_assert_eq!(d.verdict(now), Verdict::Alive, "suspected at beat {}", k);
+        }
+        // Between beats the verdict stays Alive too: probe just before
+        // the next scheduled heartbeat would land.
+        prop_assert_eq!(d.verdict(now + interval), Verdict::Alive);
     }
 }

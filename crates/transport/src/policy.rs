@@ -36,7 +36,12 @@ pub struct CandidatePath {
 
 impl CandidatePath {
     /// A path with no scheduled outage.
-    pub fn new(label: String, base_one_way_ms: f64, base_loss: f64, dynamics: PathDynamics) -> Self {
+    pub fn new(
+        label: String,
+        base_one_way_ms: f64,
+        base_loss: f64,
+        dynamics: PathDynamics,
+    ) -> Self {
         CandidatePath {
             label,
             base_one_way_ms,

@@ -201,11 +201,23 @@ impl Scenario {
         true
     }
 
+    /// Partitions `asn` from the rest of the network: every path
+    /// crossing it fails until [`Scenario::clear_as_condition`] heals it.
+    /// No-op (returning `false`) when the AS is not in the topology.
+    pub fn apply_as_partition(&mut self, asn: Asn) -> bool {
+        if self.net.internet().graph.index_of(asn).is_none() {
+            return false;
+        }
+        self.net.set_condition(asn, AsCondition::Failed);
+        true
+    }
+
     /// Applies a scheduled fault to the live network model, for
     /// owned-scenario experiment drivers. Only network-level faults
-    /// change anything here ([`FaultKind::AsCongestion`]); host- and
-    /// protocol-level faults (crashes, message drops, stale epochs)
-    /// belong to the protocol runtime and return `false` untouched.
+    /// change anything here ([`FaultKind::AsCongestion`] and
+    /// [`FaultKind::AsPartition`]); host- and protocol-level faults
+    /// (crashes, message drops, stale epochs) belong to the protocol
+    /// runtime and return `false` untouched.
     pub fn apply_fault(&mut self, kind: &FaultKind) -> bool {
         match *kind {
             FaultKind::AsCongestion {
@@ -214,6 +226,7 @@ impl Scenario {
                 added_loss,
                 ..
             } => self.apply_as_congestion(Asn(asn), added_rtt_ms, added_loss),
+            FaultKind::AsPartition { asn, .. } => self.apply_as_partition(Asn(asn)),
             FaultKind::SurrogateCrash { .. }
             | FaultKind::HostCrash { .. }
             | FaultKind::MessageDropWindow { .. }
@@ -280,9 +293,7 @@ mod tests {
         let a = hosts[0].id;
         let b = hosts
             .iter()
-            .find(|h| {
-                h.asn != s.population.host(a).asn && s.host_rtt_ms(a, h.id).is_some()
-            })
+            .find(|h| h.asn != s.population.host(a).asn && s.host_rtt_ms(a, h.id).is_some())
             .expect("a routable cross-AS pair")
             .id;
         let asn = s.population.host(a).asn;
