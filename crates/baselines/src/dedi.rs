@@ -1,5 +1,6 @@
 //! DEDI: dedicated relay nodes (RON-like).
 
+use asap_telemetry::{LedgerScope, MessageKind};
 use asap_voip::QualityRequirement;
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
@@ -17,6 +18,7 @@ use crate::selector::{eval_one_hop, RelaySelector, SelectionOutcome};
 #[derive(Debug, Clone)]
 pub struct Dedi {
     nodes: Vec<HostId>,
+    scope: LedgerScope,
 }
 
 impl Dedi {
@@ -37,7 +39,17 @@ impl Dedi {
             .take(count)
             .map(|&(_, id)| scenario.delegate_of(id))
             .collect();
-        Dedi { nodes }
+        Dedi {
+            nodes,
+            scope: LedgerScope::detached(),
+        }
+    }
+
+    /// Records this method's probes into `scope` (e.g. a shared ledger's
+    /// `"DEDI"` scope) instead of the default detached one.
+    pub fn with_scope(mut self, scope: LedgerScope) -> Self {
+        self.scope = scope;
+        self
     }
 
     /// The dedicated relay nodes.
@@ -57,14 +69,20 @@ impl RelaySelector for Dedi {
         session: Session,
         requirement: &QualityRequirement,
     ) -> SelectionOutcome {
+        // One message per probed node, as in the seed accounting.
+        self.scope
+            .record(MessageKind::ProbeRequest, self.nodes.len() as u64);
         let mut out = SelectionOutcome::default();
         for &r in &self.nodes {
-            out.messages += 1;
             if let Some(path) = eval_one_hop(scenario, session, r) {
                 out.consider(path, requirement);
             }
         }
         out
+    }
+
+    fn scope(&self) -> &LedgerScope {
+        &self.scope
     }
 }
 
@@ -104,8 +122,10 @@ mod tests {
             caller: HostId(0),
             callee: HostId(42),
         };
-        let out = dedi.select(&s, sess, &QualityRequirement::default());
-        assert_eq!(out.messages, 8);
+        let (out, spent) =
+            crate::selector::select_metered(&dedi, &s, sess, &QualityRequirement::default());
+        assert_eq!(spent, 8);
+        assert_eq!(dedi.scope().count(MessageKind::ProbeRequest), 8);
         assert!(out.probed_nodes <= 8);
     }
 

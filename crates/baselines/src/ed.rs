@@ -9,6 +9,7 @@
 //! nodes to satisfy the VoIP quality requirements": disjointness is about
 //! *reliability*, not latency.
 
+use asap_telemetry::{LedgerScope, MessageKind};
 use asap_voip::QualityRequirement;
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
@@ -23,6 +24,7 @@ use crate::selector::{eval_one_hop, RelaySelector, SelectionOutcome};
 #[derive(Debug, Clone)]
 pub struct EarliestDivergence {
     sampler: RandSel,
+    scope: LedgerScope,
 }
 
 impl EarliestDivergence {
@@ -32,7 +34,15 @@ impl EarliestDivergence {
     pub fn new(count: usize, seed: u64) -> Self {
         EarliestDivergence {
             sampler: RandSel::new(count, seed),
+            scope: LedgerScope::detached(),
         }
+    }
+
+    /// Records this method's probes into `scope` (e.g. a shared ledger's
+    /// `"ED"` scope) instead of the default detached one.
+    pub fn with_scope(mut self, scope: LedgerScope) -> Self {
+        self.scope = scope;
+        self
     }
 
     /// The number of leading ASes the relay path shares with the direct
@@ -71,8 +81,11 @@ impl RelaySelector for EarliestDivergence {
     ) -> SelectionOutcome {
         let mut out = SelectionOutcome::default();
         let mut ranked: Vec<(usize, f64, crate::selector::RelayPath)> = Vec::new();
-        for r in self.sampler.candidates(scenario, session) {
-            out.messages += 1;
+        let candidates = self.sampler.candidates(scenario, session);
+        // One message per probed candidate, as in the seed accounting.
+        self.scope
+            .record(MessageKind::ProbeRequest, candidates.len() as u64);
+        for r in candidates {
             let Some(path) = eval_one_hop(scenario, session, r) else {
                 continue;
             };
@@ -87,6 +100,10 @@ impl RelaySelector for EarliestDivergence {
         ranked.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
         out.best = ranked.into_iter().next().map(|(_, _, p)| p);
         out
+    }
+
+    fn scope(&self) -> &LedgerScope {
+        &self.scope
     }
 }
 
@@ -109,10 +126,10 @@ mod tests {
         let ed = EarliestDivergence::new(40, 5);
         let rand = RandSel::new(40, 5);
         let req = QualityRequirement::default();
-        let a = ed.select(&s, sess, &req);
-        let b = rand.select(&s, sess, &req);
+        let (a, a_spent) = crate::selector::select_metered(&ed, &s, sess, &req);
+        let (b, b_spent) = crate::selector::select_metered(&rand, &s, sess, &req);
         assert_eq!(a.quality_paths, b.quality_paths);
-        assert_eq!(a.messages, b.messages);
+        assert_eq!(a_spent, b_spent);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! MIX: dedicated plus random relays.
 
+use asap_telemetry::LedgerScope;
 use asap_voip::QualityRequirement;
 use asap_workload::sessions::Session;
 use asap_workload::Scenario;
@@ -14,16 +15,28 @@ use crate::selector::{RelaySelector, SelectionOutcome};
 pub struct Mix {
     dedi: Dedi,
     rand: RandSel,
+    scope: LedgerScope,
 }
 
 impl Mix {
     /// Builds a MIX of `dedicated` high-degree nodes and `random` random
-    /// probes per session.
+    /// probes per session. Both components record into MIX's own scope.
     pub fn new(scenario: &Scenario, dedicated: usize, random: usize, seed: u64) -> Self {
+        let scope = LedgerScope::detached();
         Mix {
-            dedi: Dedi::new(scenario, dedicated),
-            rand: RandSel::new(random, seed),
+            dedi: Dedi::new(scenario, dedicated).with_scope(scope.clone()),
+            rand: RandSel::new(random, seed).with_scope(scope.clone()),
+            scope,
         }
+    }
+
+    /// Records this method's probes (both components) into `scope`
+    /// instead of the default detached one.
+    pub fn with_scope(mut self, scope: LedgerScope) -> Self {
+        self.dedi = self.dedi.with_scope(scope.clone());
+        self.rand = self.rand.with_scope(scope.clone());
+        self.scope = scope;
+        self
     }
 
     /// The dedicated component.
@@ -48,7 +61,6 @@ impl RelaySelector for Mix {
         let mut out = SelectionOutcome {
             quality_paths: a.quality_paths + b.quality_paths,
             best: None,
-            messages: a.messages + b.messages,
             probed_nodes: a.probed_nodes + b.probed_nodes,
         };
         out.best = match (a.best, b.best) {
@@ -56,6 +68,10 @@ impl RelaySelector for Mix {
             (x, y) => x.or(y),
         };
         out
+    }
+
+    fn scope(&self) -> &LedgerScope {
+        &self.scope
     }
 }
 
@@ -72,8 +88,9 @@ mod tests {
             caller: HostId(0),
             callee: HostId(77),
         };
-        let out = mix.select(&s, sess, &QualityRequirement::default());
-        assert_eq!(out.messages, 40);
+        let (_, spent) =
+            crate::selector::select_metered(&mix, &s, sess, &QualityRequirement::default());
+        assert_eq!(spent, 40);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use asap_cluster::Asn;
 use asap_netsim::RELAY_DELAY_RTT_MS;
+use asap_telemetry::LedgerScope;
 use asap_voip::QualityRequirement;
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
@@ -26,6 +27,7 @@ use crate::selector::{RelayPath, RelaySelector, SelectionOutcome};
 #[derive(Debug, Clone)]
 pub struct Opt {
     two_hop_candidates: usize,
+    scope: LedgerScope,
 }
 
 impl Default for Opt {
@@ -39,6 +41,7 @@ impl Opt {
     pub fn new() -> Self {
         Opt {
             two_hop_candidates: 32,
+            scope: LedgerScope::detached(),
         }
     }
 
@@ -46,6 +49,14 @@ impl Opt {
     /// disables two-hop search).
     pub fn with_two_hop_candidates(mut self, candidates: usize) -> Self {
         self.two_hop_candidates = candidates;
+        self
+    }
+
+    /// Binds the (always-empty) scope — OPT is an oracle and records no
+    /// messages, but the uniform binding keeps metered comparisons
+    /// honest: its Fig. 18 cost really is zero in the same ledger.
+    pub fn with_scope(mut self, scope: LedgerScope) -> Self {
+        self.scope = scope;
         self
     }
 }
@@ -151,6 +162,10 @@ impl RelaySelector for Opt {
 
         out
     }
+
+    fn scope(&self) -> &LedgerScope {
+        &self.scope
+    }
 }
 
 /// Keeps the `cap` smallest entries (by RTT) in `heap`.
@@ -241,8 +256,10 @@ mod tests {
             caller: HostId(0),
             callee: HostId(10),
         };
-        let out = Opt::new().select(&s, sess, &QualityRequirement::default());
-        assert_eq!(out.messages, 0);
+        let opt = Opt::new();
+        let (_, spent) =
+            crate::selector::select_metered(&opt, &s, sess, &QualityRequirement::default());
+        assert_eq!(spent, 0);
     }
 
     #[test]

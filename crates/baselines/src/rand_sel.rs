@@ -1,5 +1,6 @@
 //! RAND: random relay probing (SOSR-like).
 
+use asap_telemetry::{LedgerScope, MessageKind};
 use asap_voip::QualityRequirement;
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
@@ -19,13 +20,25 @@ use crate::selector::{eval_one_hop, RelaySelector, SelectionOutcome};
 pub struct RandSel {
     count: usize,
     seed: u64,
+    scope: LedgerScope,
 }
 
 impl RandSel {
     /// Probes `count` random peers per session; candidate choice is
     /// deterministic per (seed, session).
     pub fn new(count: usize, seed: u64) -> Self {
-        RandSel { count, seed }
+        RandSel {
+            count,
+            seed,
+            scope: LedgerScope::detached(),
+        }
+    }
+
+    /// Records this method's probes into `scope` (e.g. a shared ledger's
+    /// `"RAND"` scope) instead of the default detached one.
+    pub fn with_scope(mut self, scope: LedgerScope) -> Self {
+        self.scope = scope;
+        self
     }
 
     /// The deterministic candidate list for one session.
@@ -53,14 +66,20 @@ impl RelaySelector for RandSel {
         session: Session,
         requirement: &QualityRequirement,
     ) -> SelectionOutcome {
+        // One message per probed candidate, as in the seed accounting.
+        self.scope
+            .record(MessageKind::ProbeRequest, self.count as u64);
         let mut out = SelectionOutcome::default();
         for r in self.candidates(scenario, session) {
-            out.messages += 1;
             if let Some(path) = eval_one_hop(scenario, session, r) {
                 out.consider(path, requirement);
             }
         }
         out
+    }
+
+    fn scope(&self) -> &LedgerScope {
+        &self.scope
     }
 }
 
@@ -93,8 +112,9 @@ mod tests {
             caller: HostId(0),
             callee: HostId(9),
         };
-        let out = r.select(&s, sess, &QualityRequirement::default());
-        assert_eq!(out.messages, 50);
+        let (_, spent) =
+            crate::selector::select_metered(&r, &s, sess, &QualityRequirement::default());
+        assert_eq!(spent, 50);
     }
 
     #[test]

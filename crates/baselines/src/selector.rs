@@ -1,5 +1,6 @@
 //! The common interface all relay-selection methods implement.
 
+use asap_telemetry::LedgerScope;
 use asap_voip::QualityRequirement;
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
@@ -27,9 +28,6 @@ pub struct SelectionOutcome {
     /// The best (shortest-RTT) relay path found, if any candidate was
     /// evaluated successfully.
     pub best: Option<RelayPath>,
-    /// Protocol messages spent on this selection (probes, requests,
-    /// responses) — the Fig. 18 overhead metric.
-    pub messages: u64,
     /// Number of relay nodes whose paths were actually probed/evaluated.
     pub probed_nodes: u64,
 }
@@ -101,6 +99,27 @@ pub trait RelaySelector {
         session: Session,
         requirement: &QualityRequirement,
     ) -> SelectionOutcome;
+
+    /// The ledger scope this method records its protocol messages into —
+    /// the single source of truth for the Fig. 18 overhead metric
+    /// (replacing the per-outcome `messages` counter this trait used to
+    /// carry).
+    fn scope(&self) -> &LedgerScope;
+}
+
+/// Runs `sel.select(..)` and meters its message cost: returns the
+/// outcome together with how many ledger messages the selection spent,
+/// read as a before/after delta on the method's scope.
+pub fn select_metered<S: RelaySelector + ?Sized>(
+    sel: &S,
+    scenario: &Scenario,
+    session: Session,
+    requirement: &QualityRequirement,
+) -> (SelectionOutcome, u64) {
+    let before = sel.scope().total();
+    let out = sel.select(scenario, session, requirement);
+    let spent = sel.scope().total() - before;
+    (out, spent)
 }
 
 #[cfg(test)]

@@ -53,9 +53,10 @@ fn main() {
         let selector = AsapSelector::new(system);
         let (mut quality, mut messages, mut found) = (Vec::new(), Vec::new(), 0usize);
         for s in latent.iter().take(take) {
-            let out = asap_baselines::RelaySelector::select(&selector, &scenario, s.session, &req);
+            let (out, spent) =
+                asap_baselines::select_metered(&selector, &scenario, s.session, &req);
             quality.push(out.quality_paths as f64);
-            messages.push(out.messages as f64);
+            messages.push(spent as f64);
             found += usize::from(out.best.is_some());
         }
         row(&[
@@ -124,9 +125,11 @@ fn main() {
         let mut messages = Vec::new();
         let mut two_hop = 0usize;
         for s in latent.iter().take(take.min(60)) {
-            let out = asap_baselines::RelaySelector::select(&selector, &scenario, s.session, &req);
-            messages.push(out.messages as f64);
-            if out.messages > 4 {
+            let (_, spent) = asap_baselines::select_metered(&selector, &scenario, s.session, &req);
+            messages.push(spent as f64);
+            // A one-hop selection costs 2 setup pings + 2 close-set
+            // messages; anything beyond that is the two-hop exchange.
+            if spent > 4 {
                 two_hop += 1;
             }
         }

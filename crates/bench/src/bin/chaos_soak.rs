@@ -19,13 +19,15 @@
 //! nonzero if any invariant is violated. Two runs with the same `--seed`
 //! produce byte-identical JSON.
 
-use asap_bench::experiments::{chaos_soak, json_lines};
+use asap_bench::experiments::{chaos_soak_with, json_lines};
 use asap_bench::{row, section, Args, Scale};
+use asap_telemetry::Telemetry;
 
 fn main() {
     let args = Args::parse(Scale::Tiny);
     let scenario = args.scenario();
-    let report = chaos_soak(&scenario, args.seed, args.sessions);
+    let telemetry = Telemetry::new();
+    let report = chaos_soak_with(&scenario, args.seed, args.sessions, &telemetry);
 
     section("chaos soak: churn + partition schedule");
     row(&[&"metric", &"value"]);
@@ -53,6 +55,8 @@ fn main() {
 
     section("json");
     print!("{}", json_lines(std::slice::from_ref(&report)));
+
+    args.write_metrics(&telemetry);
 
     if report.violations() > 0 {
         eprintln!(

@@ -18,8 +18,9 @@
 //! so runs can be diffed; the whole run is deterministic in `--seed`
 //! (see `tests/determinism.rs`, which pins that down).
 
-use asap_bench::experiments::{fault_recovery_sweep, json_lines};
+use asap_bench::experiments::{fault_recovery_sweep_with, json_lines};
 use asap_bench::{row, section, Args, Scale};
+use asap_telemetry::Telemetry;
 
 fn main() {
     let args = Args::parse(Scale::Tiny);
@@ -28,7 +29,8 @@ fn main() {
     // heavy churn, and 5 sweep points share one process.
     let calls = args.sessions.min(1_000);
 
-    let rows = fault_recovery_sweep(&scenario, args.seed, calls);
+    let telemetry = Telemetry::new();
+    let rows = fault_recovery_sweep_with(&scenario, args.seed, calls, &telemetry);
 
     section("fault recovery: crash-rate sweep");
     row(&[
@@ -58,4 +60,6 @@ fn main() {
 
     section("json");
     print!("{}", json_lines(&rows));
+
+    args.write_metrics(&telemetry);
 }

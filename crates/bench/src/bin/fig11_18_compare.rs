@@ -10,10 +10,11 @@
 //!   80/200/160 probes, ASAP usually ≤ a few hundred messages.
 
 use asap_baselines::{
-    Dedi, EarliestDivergence, Mix, Opt, RandSel, RelaySelector, SelectionOutcome,
+    select_metered, Dedi, EarliestDivergence, Mix, Opt, RandSel, RelaySelector, SelectionOutcome,
 };
 use asap_bench::{percentile, row, section, sorted, Args, Scale};
 use asap_core::{AsapConfig, AsapSelector, AsapSystem};
+use asap_telemetry::{HistogramHandle, Telemetry};
 use asap_voip::{emodel::EModel, Codec, QualityRequirement};
 use asap_workload::sessions;
 use asap_workload::trace::SessionRecord;
@@ -24,25 +25,30 @@ struct MethodResult {
     shortest: Vec<f64>,
     mos: Vec<f64>,
     messages: Vec<f64>,
+    best_rtt: HistogramHandle,
 }
 
 impl MethodResult {
-    fn new(name: &'static str) -> Self {
+    fn new(name: &'static str, telemetry: &Telemetry) -> Self {
         MethodResult {
             name,
             quality: Vec::new(),
             shortest: Vec::new(),
             mos: Vec::new(),
             messages: Vec::new(),
+            best_rtt: telemetry
+                .registry()
+                .histogram(&format!("{name}.best_rtt_ms")),
         }
     }
 
-    fn record(&mut self, out: &SelectionOutcome, model: &EModel) {
+    fn record(&mut self, out: &SelectionOutcome, spent: u64, model: &EModel) {
         self.quality.push(out.quality_paths as f64);
-        self.messages.push(out.messages as f64);
+        self.messages.push(spent as f64);
         if let Some(best) = &out.best {
             self.shortest.push(best.rtt_ms);
             self.mos.push(model.mos_from_rtt(best.rtt_ms, 0.005));
+            self.best_rtt.record(best.rtt_ms);
         }
     }
 }
@@ -64,19 +70,25 @@ fn main() {
         latent.len()
     );
 
+    // One telemetry context for the whole comparison: each method gets its
+    // own ledger scope, so the Fig. 18 overhead numbers, the per-kind
+    // breakdowns, and `--metrics-out` all report from the same source.
+    let telemetry = Telemetry::new();
     let req = QualityRequirement::default();
     let model = EModel::new(Codec::G729aVad);
-    let dedi = Dedi::new(&scenario, 80);
-    let rand = RandSel::new(200, args.seed ^ 0xAB);
-    let mix = Mix::new(&scenario, 40, 120, args.seed ^ 0xCD);
-    let ed = EarliestDivergence::new(200, args.seed ^ 0xAB);
-    let opt = Opt::new();
-    let system = AsapSystem::bootstrap(&scenario, AsapConfig::default());
+    let dedi = Dedi::new(&scenario, 80).with_scope(telemetry.ledger().scope("DEDI"));
+    let rand = RandSel::new(200, args.seed ^ 0xAB).with_scope(telemetry.ledger().scope("RAND"));
+    let mix =
+        Mix::new(&scenario, 40, 120, args.seed ^ 0xCD).with_scope(telemetry.ledger().scope("MIX"));
+    let ed =
+        EarliestDivergence::new(200, args.seed ^ 0xAB).with_scope(telemetry.ledger().scope("ED"));
+    let opt = Opt::new().with_scope(telemetry.ledger().scope("OPT"));
+    let system = AsapSystem::bootstrap_scoped(&scenario, AsapConfig::default(), &telemetry, "ASAP");
     let asap = AsapSelector::new(system);
 
     let mut results: Vec<MethodResult> = ["DEDI", "RAND", "MIX", "ASAP", "OPT", "ED"]
         .iter()
-        .map(|n| MethodResult::new(n))
+        .map(|n| MethodResult::new(n, &telemetry))
         .collect();
     let mut records: Vec<SessionRecord> = Vec::new();
 
@@ -87,19 +99,21 @@ fn main() {
     // relay, for a same-session-set comparison.
     let mut paired: Vec<(f64, f64)> = Vec::new();
     for (i, s) in latent.iter().take(take).enumerate() {
-        let outs: Vec<SelectionOutcome> = vec![
-            dedi.select(&scenario, s.session, &req),
-            rand.select(&scenario, s.session, &req),
-            mix.select(&scenario, s.session, &req),
-            asap.select(&scenario, s.session, &req),
-            opt.select(&scenario, s.session, &req),
-            ed.select(&scenario, s.session, &req),
+        // Each selector's message spend is metered as the delta of its
+        // ledger scope across the call — there is no per-outcome counter.
+        let outs: Vec<(SelectionOutcome, u64)> = vec![
+            select_metered(&dedi, &scenario, s.session, &req),
+            select_metered(&rand, &scenario, s.session, &req),
+            select_metered(&mix, &scenario, s.session, &req),
+            select_metered(&asap, &scenario, s.session, &req),
+            select_metered(&opt, &scenario, s.session, &req),
+            select_metered(&ed, &scenario, s.session, &req),
         ];
-        if let (Some(a), Some(o)) = (&outs[3].best, &outs[4].best) {
+        if let (Some(a), Some(o)) = (&outs[3].0.best, &outs[4].0.best) {
             paired.push((a.rtt_ms, o.rtt_ms));
         }
-        for (r, out) in results.iter_mut().zip(&outs) {
-            r.record(out, &model);
+        for (r, (out, spent)) in results.iter_mut().zip(&outs) {
+            r.record(out, *spent, &model);
             records.push(SessionRecord {
                 experiment: "fig11_18".into(),
                 method: r.name.into(),
@@ -111,7 +125,7 @@ fn main() {
                     .best
                     .as_ref()
                     .map(|b| model.mos_from_rtt(b.rtt_ms, 0.005)),
-                messages: out.messages,
+                messages: *spent,
             });
         }
     }
@@ -216,6 +230,34 @@ fn main() {
             &percentile(&v, 1.0),
         ]);
     }
+
+    section("Fig. 18 source: ledger totals by message kind");
+    let scoped: Vec<(&str, &asap_telemetry::LedgerScope)> = vec![
+        ("DEDI", dedi.scope()),
+        ("RAND", rand.scope()),
+        ("MIX", mix.scope()),
+        ("ASAP", asap.scope()),
+        ("ED", ed.scope()),
+    ];
+    let mut header: Vec<&dyn std::fmt::Display> = vec![&"kind"];
+    for (name, _) in &scoped {
+        header.push(name);
+    }
+    row(&header);
+    for kind in asap_telemetry::MESSAGE_KINDS {
+        let counts: Vec<u64> = scoped.iter().map(|(_, s)| s.count(kind)).collect();
+        if counts.iter().all(|&c| c == 0) {
+            continue;
+        }
+        let kind_name = kind.name();
+        let mut cells: Vec<&dyn std::fmt::Display> = vec![&kind_name];
+        for c in &counts {
+            cells.push(c);
+        }
+        row(&cells);
+    }
+
+    args.write_metrics(&telemetry);
 
     // Dump the raw rows for EXPERIMENTS.md tooling.
     if let Ok(path) = std::env::var("ASAP_TRACE_OUT") {

@@ -10,16 +10,23 @@
 use asap_baselines::{Dedi, Mix, RandSel, RelaySelector};
 use asap_bench::{percentile, row, section, sorted, Args, Scale};
 use asap_core::{AsapConfig, AsapSelector, AsapSystem};
+use asap_telemetry::Telemetry;
 use asap_voip::QualityRequirement;
 use asap_workload::sessions;
 use asap_workload::{PopulationConfig, Scenario, ScenarioConfig};
 
 /// Quality-path percentiles for all four methods at one population size.
+///
+/// Every method's message spend lands in the shared `telemetry` ledger
+/// under a `NAME@tag` scope (e.g. `ASAP@small`), so the two population
+/// sizes stay separable in `--metrics-out` snapshots.
 fn run_at(
     scenario: &Scenario,
     sessions_n: usize,
     seed: u64,
     take: usize,
+    telemetry: &Telemetry,
+    tag: &str,
 ) -> Vec<(String, Vec<f64>)> {
     let all = sessions::generate(&scenario.population, sessions_n, seed ^ 0xF17);
     let with = sessions::with_direct_routes(scenario, &all);
@@ -31,10 +38,16 @@ fn run_at(
     );
 
     let req = QualityRequirement::default();
-    let dedi = Dedi::new(scenario, 80);
-    let rand = RandSel::new(200, seed ^ 0xAB);
-    let mix = Mix::new(scenario, 40, 120, seed ^ 0xCD);
-    let system = AsapSystem::bootstrap(scenario, AsapConfig::default());
+    let scope = |name: &str| telemetry.ledger().scope(&format!("{name}@{tag}"));
+    let dedi = Dedi::new(scenario, 80).with_scope(scope("DEDI"));
+    let rand = RandSel::new(200, seed ^ 0xAB).with_scope(scope("RAND"));
+    let mix = Mix::new(scenario, 40, 120, seed ^ 0xCD).with_scope(scope("MIX"));
+    let system = AsapSystem::bootstrap_scoped(
+        scenario,
+        AsapConfig::default(),
+        telemetry,
+        &format!("ASAP@{tag}"),
+    );
     let asap = AsapSelector::new(system);
 
     let methods: Vec<(&str, &dyn RelaySelector)> = vec![
@@ -87,9 +100,17 @@ fn main() {
     eprintln!("fig17: building {large_n}-host scenario…");
     let large = Scenario::build(large_cfg, args.seed);
 
+    let telemetry = Telemetry::new();
     let take = 200;
-    let small_res = run_at(&small, args.sessions, args.seed, take);
-    let large_res = run_at(&large, args.sessions, args.seed + 1, take);
+    let small_res = run_at(&small, args.sessions, args.seed, take, &telemetry, "small");
+    let large_res = run_at(
+        &large,
+        args.sessions,
+        args.seed + 1,
+        take,
+        &telemetry,
+        "large",
+    );
 
     section(&format!(
         "Fig. 17: quality paths at {large_n} hosts divided by {ratio:.3}, vs {small_n} hosts"
@@ -120,4 +141,6 @@ fn main() {
         "\n# Scalable ⇔ the scaled large-population column matches the small one.\n\
          # ASAP's columns should agree; DEDI/RAND/MIX collapse toward zero."
     );
+
+    args.write_metrics(&telemetry);
 }

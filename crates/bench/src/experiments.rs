@@ -7,9 +7,10 @@
 //! must produce byte-identical JSON — that property is what the
 //! determinism test pins down.
 
-use asap_core::events::{run, SimConfig, SimReport};
+use asap_core::events::{run_with, SimConfig, SimReport};
 use asap_core::AsapConfig;
 use asap_netsim::faults::FaultPlanConfig;
+use asap_telemetry::Telemetry;
 use asap_workload::Scenario;
 use serde::Serialize;
 
@@ -62,6 +63,18 @@ pub const FAULT_RECOVERY_RATES: [f64; 5] = [0.0, 0.002, 0.005, 0.01, 0.02];
 /// Deterministic: equal `(scenario, seed, calls)` inputs produce equal
 /// rows, and [`json_lines`] of equal rows is byte-identical.
 pub fn fault_recovery_sweep(scenario: &Scenario, seed: u64, calls: usize) -> Vec<FaultRecoveryRow> {
+    fault_recovery_sweep_with(scenario, seed, calls, &Telemetry::new())
+}
+
+/// [`fault_recovery_sweep`] recording into a caller-provided telemetry
+/// context: each sweep point gets its own `ASAP@crash=RATE` ledger scope
+/// so the per-kind overhead of the rates stays separable in snapshots.
+pub fn fault_recovery_sweep_with(
+    scenario: &Scenario,
+    seed: u64,
+    calls: usize,
+    telemetry: &Telemetry,
+) -> Vec<FaultRecoveryRow> {
     FAULT_RECOVERY_RATES
         .iter()
         .map(|&rate| {
@@ -80,7 +93,13 @@ pub fn fault_recovery_sweep(scenario: &Scenario, seed: u64, calls: usize) -> Vec
                 seed,
                 ..Default::default()
             };
-            let report = run(scenario, AsapConfig::default(), &sim);
+            let report = run_with(
+                scenario,
+                AsapConfig::default(),
+                &sim,
+                telemetry,
+                &format!("ASAP@crash={rate:.3}"),
+            );
             let survival = if report.calls_completed > 0 {
                 (report.calls_completed - report.calls_dropped) as f64
                     / report.calls_completed as f64
@@ -252,8 +271,19 @@ pub fn chaos_soak_config() -> AsapConfig {
 
 /// Runs the chaos soak and returns its summary.
 pub fn chaos_soak(scenario: &Scenario, seed: u64, sessions: usize) -> ChaosSoakReport {
+    chaos_soak_with(scenario, seed, sessions, &Telemetry::new())
+}
+
+/// [`chaos_soak`] recording into a caller-provided telemetry context
+/// under the `ASAP` ledger scope.
+pub fn chaos_soak_with(
+    scenario: &Scenario,
+    seed: u64,
+    sessions: usize,
+    telemetry: &Telemetry,
+) -> ChaosSoakReport {
     let sim = chaos_soak_sim(seed, sessions);
-    let report = run(scenario, chaos_soak_config(), &sim);
+    let report = run_with(scenario, chaos_soak_config(), &sim, telemetry, "ASAP");
     ChaosSoakReport::from_report(seed, sessions, &report)
 }
 

@@ -12,6 +12,7 @@ pub mod experiments;
 
 use std::fmt::Display;
 
+use asap_telemetry::Telemetry;
 use asap_workload::{PopulationConfig, Scenario, ScenarioConfig};
 
 /// Experiment scale preset.
@@ -60,6 +61,8 @@ pub struct Args {
     pub sessions: usize,
     /// Master seed (`--seed N`).
     pub seed: u64,
+    /// Optional path for a telemetry snapshot (`--metrics-out PATH`).
+    pub metrics_out: Option<String>,
 }
 
 impl Args {
@@ -73,6 +76,7 @@ impl Args {
         let mut scale = default_scale;
         let mut sessions = None;
         let mut seed = 1;
+        let mut metrics_out = None;
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
@@ -99,6 +103,10 @@ impl Args {
                     seed = need_value(i).parse().expect("--seed takes a number");
                     i += 2;
                 }
+                "--metrics-out" => {
+                    metrics_out = Some(need_value(i));
+                    i += 2;
+                }
                 other => panic!("unknown argument {other:?}"),
             }
         }
@@ -107,12 +115,31 @@ impl Args {
             scale,
             sessions,
             seed,
+            metrics_out,
         }
     }
 
     /// Builds the scenario for these arguments.
     pub fn scenario(&self) -> Scenario {
         Scenario::build(self.scale.scenario_config(), self.seed)
+    }
+
+    /// Writes the telemetry snapshot to `--metrics-out` when given.
+    ///
+    /// The snapshot is serialized with [`Telemetry::snapshot_json`], which
+    /// is deterministic per seed: two runs with identical arguments produce
+    /// byte-identical files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_metrics(&self, telemetry: &Telemetry) {
+        if let Some(path) = &self.metrics_out {
+            let json = telemetry.snapshot_json();
+            std::fs::write(path, format!("{json}\n"))
+                .unwrap_or_else(|e| panic!("cannot write --metrics-out {path}: {e}"));
+            eprintln!("telemetry snapshot written to {path}");
+        }
     }
 }
 

@@ -6,8 +6,11 @@
 //! experiment twice with the same seed must yield *byte-identical* JSON,
 //! the exact artifact a reader would diff between runs.
 
-use asap_bench::experiments::{chaos_soak, fault_recovery_sweep, json_lines};
+use asap_bench::experiments::{
+    chaos_soak, chaos_soak_with, fault_recovery_sweep, fault_recovery_sweep_with, json_lines,
+};
 use asap_bench::Scale;
+use asap_telemetry::Telemetry;
 use asap_workload::Scenario;
 
 fn tiny_scenario(seed: u64) -> Scenario {
@@ -32,6 +35,43 @@ fn chaos_soak_json_is_byte_identical_across_runs() {
     let a = json_lines(std::slice::from_ref(&chaos_soak(&scenario, 9, 400)));
     let b = json_lines(std::slice::from_ref(&chaos_soak(&scenario, 9, 400)));
     assert_eq!(a, b, "same seed must reproduce the same JSON bytes");
+}
+
+#[test]
+fn telemetry_snapshot_is_byte_identical_across_runs() {
+    // The whole telemetry pipeline — ledger scopes, per-cluster/per-node
+    // attribution, histograms, span durations — must serialize to the
+    // same bytes when the same seed drives the same schedule.
+    let scenario = tiny_scenario(5);
+    let snap = |_: ()| {
+        let telemetry = Telemetry::new();
+        fault_recovery_sweep_with(&scenario, 5, 120, &telemetry);
+        telemetry.snapshot_json()
+    };
+    let a = snap(());
+    let b = snap(());
+    assert!(
+        a.contains("ASAP@crash=0.010"),
+        "snapshot names the sweep scopes: {a}"
+    );
+    assert_eq!(a, b, "same seed must reproduce the same snapshot bytes");
+}
+
+#[test]
+fn chaos_soak_telemetry_snapshot_is_byte_identical_across_runs() {
+    let scenario = tiny_scenario(9);
+    let snap = |_: ()| {
+        let telemetry = Telemetry::new();
+        chaos_soak_with(&scenario, 9, 400, &telemetry);
+        telemetry.snapshot_json()
+    };
+    let a = snap(());
+    let b = snap(());
+    assert!(
+        a.contains("call.rtt_ms"),
+        "snapshot carries the call-RTT histogram: {a}"
+    );
+    assert_eq!(a, b, "same seed must reproduce the same snapshot bytes");
 }
 
 #[test]

@@ -14,6 +14,7 @@ use asap_cluster::ClusterId;
 use asap_netsim::events::{EventQueue, SimTime};
 use asap_netsim::faults::{FaultKind, FaultPlan, FaultPlanConfig, MessageDrops};
 use asap_netsim::membership::Verdict;
+use asap_telemetry::{MessageKind, Span, Telemetry};
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
 use rand::rngs::StdRng;
@@ -24,7 +25,10 @@ use crate::ladder::DegradationLevel;
 use crate::select::CloseRelaySelection;
 use crate::system::{AsapSystem, RecoveryStats};
 
-/// Message taxonomy for the load accounting.
+/// Message taxonomy for the load accounting. Derived at the end of a
+/// run from the system's telemetry ledger scope — the simulation no
+/// longer keeps parallel counters — by folding the typed
+/// [`MessageKind`]s into the paper's §6.3 categories.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MessageCounts {
     /// Join requests/replies with bootstraps.
@@ -177,15 +181,42 @@ struct ActiveCall {
     /// Relays that already died under this call (never re-picked).
     dead: Vec<HostId>,
     degraded: bool,
+    /// The call's open telemetry span, closed at hangup or teardown.
+    span: Span,
 }
 
-/// Runs the protocol machine over virtual time.
+/// Runs the protocol machine over virtual time with a private telemetry
+/// context under the `"ASAP"` scope.
 ///
 /// # Panics
 ///
 /// Panics if the scenario population is empty.
 pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimReport {
-    let system = AsapSystem::bootstrap(scenario, config);
+    run_with(scenario, config, sim, &Telemetry::new(), "ASAP")
+}
+
+/// Runs the protocol machine over virtual time, recording every message,
+/// histogram, and span into `telemetry` under the ledger scope
+/// `scope_name`. The report's [`MessageCounts`] are derived from that
+/// scope (deltas over the run), so several runs can share one context.
+///
+/// # Panics
+///
+/// Panics if the scenario population is empty.
+pub fn run_with(
+    scenario: &Scenario,
+    config: AsapConfig,
+    sim: &SimConfig,
+    telemetry: &Telemetry,
+    scope_name: &str,
+) -> SimReport {
+    let system = AsapSystem::bootstrap_scoped(scenario, config, telemetry, scope_name);
+    let scope = system.ledger_scope().clone();
+    let spans = telemetry.spans().clone();
+    let base: Vec<u64> = asap_telemetry::MESSAGE_KINDS
+        .iter()
+        .map(|&k| scope.count(k))
+        .collect();
     let mut rng = StdRng::seed_from_u64(sim.seed);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let hosts = scenario.population.hosts();
@@ -255,6 +286,10 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
     // ASN → partition end time (virtual ms).
     let mut partitioned_until: BTreeMap<u32, u64> = BTreeMap::new();
     let mut drop_windows_active: u32 = 0;
+    // Open telemetry spans: one per live partition, a LIFO stack for
+    // (possibly overlapping) message-drop windows.
+    let mut partition_spans: BTreeMap<u32, Span> = BTreeMap::new();
+    let mut drop_window_spans: Vec<Span> = Vec::new();
     while let Some((now, event)) = queue.pop() {
         system.advance_to(now.as_ms());
         match event {
@@ -283,8 +318,6 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
             Event::Join(h) => {
                 let _ = system.join(h);
                 report.joined += 1;
-                report.messages.join += 2;
-                report.messages.close_set += 2;
                 // First publish happens one interval after joining.
                 queue.schedule(
                     now.after_ms(system.config().publish_interval_ms),
@@ -292,7 +325,7 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
                 );
             }
             Event::Publish(h) => {
-                report.messages.publish += 1;
+                scope.record_for_node(h.0, MessageKind::Publish, 1);
                 if now.as_ms() + system.config().publish_interval_ms <= sim.duration_ms {
                     queue.schedule(
                         now.after_ms(system.config().publish_interval_ms),
@@ -302,7 +335,6 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
             }
             Event::Call(session) => {
                 let outcome = system.call(session.caller, session.callee);
-                report.messages.call += outcome.messages;
                 if outcome.degradation > DegradationLevel::FullAsap {
                     report.degraded_calls += 1;
                     // A downgrade is legitimate only while the control
@@ -332,6 +364,7 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
                         relays: chosen.relays,
                         dead: Vec::new(),
                         degraded: false,
+                        span: spans.start("call", now.as_ms()),
                     };
                     if call_touches_congestion(scenario, &call, &congested_until, now.as_ms()) {
                         call.degraded = true;
@@ -346,17 +379,16 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
                 }
             }
             Event::EndCall(id) => {
-                active.remove(&id);
+                if let Some(call) = active.remove(&id) {
+                    spans.end(call.span, now.as_ms());
+                }
             }
             Event::FailSurrogate(cluster) => {
                 let id = ClusterId(cluster);
-                let members = scenario.population.cluster_members(id).len() as u64;
                 let old = system.surrogate_of(id);
                 let _ = system.fail_surrogate(id);
                 report.failovers += 1;
-                // Notify bootstrap (2) and cluster members (1 each).
-                report.messages.election += 2 + members;
-                fail_over_calls(&system, &mut active, &mut report, old);
+                fail_over_calls(&system, &mut active, &mut report, old, now);
             }
             Event::Fault(i) => {
                 apply_fault(
@@ -371,12 +403,17 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
                     &mut congested_until,
                     &mut partitioned_until,
                     &mut drop_windows_active,
+                    &mut partition_spans,
+                    &mut drop_window_spans,
                     &mut report,
                 );
             }
             Event::FaultEnd => {
                 // Only message-drop windows schedule an end event.
                 drop_windows_active = drop_windows_active.saturating_sub(1);
+                if let Some(span) = drop_window_spans.pop() {
+                    spans.end(span, now.as_ms());
+                }
                 if drop_windows_active == 0 {
                     system.set_message_faults(None);
                 }
@@ -390,22 +427,34 @@ pub fn run(scenario: &Scenario, config: AsapConfig, sim: &SimConfig) -> SimRepor
                 {
                     partitioned_until.remove(&asn);
                     system.heal_as(asn);
+                    if let Some(span) = partition_spans.remove(&asn) {
+                        spans.end(span, now.as_ms());
+                    }
                 }
             }
             Event::MembershipTick => {
                 let tick = system.membership_tick(now.as_ms());
-                report.messages.heartbeat += tick.heartbeats;
                 for h in tick.demoted {
                     // The surrogate role moved on; calls still relayed
                     // through the suspect must fail over too.
                     report.failovers += 1;
-                    report.messages.election += 2;
-                    fail_over_calls(&system, &mut active, &mut report, h);
+                    fail_over_calls(&system, &mut active, &mut report, h, now);
                 }
             }
         }
     }
     report.recovery = system.stats().recovery;
+    let delta = |k: MessageKind| scope.count(k) - base[k as usize];
+    report.messages = MessageCounts {
+        join: delta(MessageKind::JoinRequest) + delta(MessageKind::JoinReply),
+        close_set: delta(MessageKind::CloseSetRequest) + delta(MessageKind::CloseSetReply),
+        publish: delta(MessageKind::Publish),
+        election: delta(MessageKind::Election) + delta(MessageKind::Handoff),
+        call: delta(MessageKind::CallSetup)
+            + delta(MessageKind::ProbeRequest)
+            + delta(MessageKind::ProbeReply),
+        heartbeat: delta(MessageKind::Heartbeat),
+    };
     report
 }
 
@@ -429,24 +478,30 @@ fn apply_fault(
     congested_until: &mut BTreeMap<u32, u64>,
     partitioned_until: &mut BTreeMap<u32, u64>,
     drop_windows_active: &mut u32,
+    partition_spans: &mut BTreeMap<u32, Span>,
+    drop_window_spans: &mut Vec<Span>,
     report: &mut SimReport,
 ) {
+    let spans = system.telemetry().spans().clone();
     match kind {
         FaultKind::SurrogateCrash { cluster } => {
             let victim = system.surrogate_of(ClusterId(cluster));
             let _ = system.silent_crash(victim);
-            fail_over_calls(system, active, report, victim);
+            fail_over_calls(system, active, report, victim, now);
         }
         FaultKind::HostCrash { host } => {
             let victim = HostId(host);
             let _ = system.silent_crash(victim);
-            fail_over_calls(system, active, report, victim);
+            fail_over_calls(system, active, report, victim, now);
         }
         FaultKind::AsPartition { asn, duration_ms } => {
             system.partition_as(asn);
             report.partitions += 1;
             let until = partitioned_until.entry(asn).or_insert(0);
             *until = (*until).max(now.as_ms() + duration_ms);
+            partition_spans
+                .entry(asn)
+                .or_insert_with(|| spans.start("partition", now.as_ms()));
             queue.schedule(now.after_ms(duration_ms), Event::PartitionEnd(asn));
             // Calls with an endpoint inside the cut AS lose their media
             // path outright.
@@ -457,7 +512,9 @@ fn apply_fault(
                 .map(|(&id, _)| id)
                 .collect();
             for id in severed {
-                active.remove(&id);
+                if let Some(call) = active.remove(&id) {
+                    spans.end(call.span, now.as_ms());
+                }
                 report.partition_dropped_calls += 1;
             }
             // Calls merely *relayed* through the cut AS fail over.
@@ -467,7 +524,7 @@ fn apply_fault(
                 .filter(|&r| of(r) == asn)
                 .collect();
             for r in dead_relays {
-                fail_over_calls(system, active, report, r);
+                fail_over_calls(system, active, report, r, now);
             }
         }
         FaultKind::AsCongestion {
@@ -487,6 +544,7 @@ fn apply_fault(
             duration_ms,
         } => {
             *drop_windows_active += 1;
+            drop_window_spans.push(spans.start("drop_window", now.as_ms()));
             system.set_message_faults(Some(MessageDrops::new(
                 drop_prob,
                 sim.seed ^ ((index as u64) << 20) ^ 0xD20F,
@@ -507,6 +565,7 @@ fn fail_over_calls(
     active: &mut BTreeMap<u64, ActiveCall>,
     report: &mut SimReport,
     dead_host: HostId,
+    now: SimTime,
 ) {
     let affected: Vec<u64> = active
         .iter()
@@ -516,6 +575,7 @@ fn fail_over_calls(
     for id in affected {
         let call = active.get_mut(&id).expect("collected from the map");
         call.dead.push(dead_host);
+        // The failover re-ping is recorded in the system's ledger scope.
         let replacement = call.selection.as_ref().and_then(|sel| {
             system.failover_path(call.session.caller, call.session.callee, sel, &call.dead)
         });
@@ -523,11 +583,11 @@ fn fail_over_calls(
             Some(path) => {
                 call.relays = path.relays;
                 report.midcall_failovers += 1;
-                report.messages.call += 2; // failover re-ping
             }
             None => {
                 report.calls_dropped += 1;
-                active.remove(&id);
+                let call = active.remove(&id).expect("still in the map");
+                system.telemetry().spans().end(call.span, now.as_ms());
             }
         }
     }

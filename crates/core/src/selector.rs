@@ -1,6 +1,7 @@
 //! Adapter plugging ASAP into the shared evaluation harness.
 
 use asap_baselines::{RelayPath, RelaySelector, SelectionOutcome};
+use asap_telemetry::LedgerScope;
 use asap_voip::QualityRequirement;
 use asap_workload::sessions::Session;
 use asap_workload::Scenario;
@@ -48,10 +49,7 @@ impl RelaySelector for AsapSelector<'_> {
         );
         let _ = requirement; // ASAP's own latT plays the requirement role.
         let outcome = self.system.call(session.caller, session.callee);
-        let mut result = SelectionOutcome {
-            messages: outcome.messages,
-            ..Default::default()
-        };
+        let mut result = SelectionOutcome::default();
         if let Some(sel) = &outcome.selection {
             result.quality_paths = sel.quality_paths();
             result.probed_nodes = (sel.one_hop.len() + sel.two_hop.len()) as u64;
@@ -66,6 +64,10 @@ impl RelaySelector for AsapSelector<'_> {
             }
         }
         result
+    }
+
+    fn scope(&self) -> &LedgerScope {
+        self.system.ledger_scope()
     }
 }
 
@@ -83,8 +85,8 @@ mod tests {
         assert_eq!(selector.name(), "ASAP");
         let req = QualityRequirement::default();
         for s in sessions::generate(&scenario.population, 20, 4) {
-            let out = selector.select(&scenario, s, &req);
-            assert!(out.messages >= 2);
+            let (_, spent) = asap_baselines::select_metered(&selector, &scenario, s, &req);
+            assert!(spent >= 2, "every call spends at least its setup pings");
         }
         assert_eq!(selector.system().stats().calls, 20);
     }

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use asap_cluster::{Asn, ClusterId};
 use asap_netsim::faults::MessageDrops;
 use asap_netsim::membership::{MembershipView, Verdict};
+use asap_telemetry::{HistogramHandle, LedgerScope, MessageKind, Telemetry};
 use asap_workload::{HostId, Scenario};
 use parking_lot::Mutex;
 
@@ -85,6 +86,9 @@ pub struct RecoveryStats {
 }
 
 /// Counters describing everything the system did since bootstrap.
+/// Message costs are no longer counted here: every control message is
+/// recorded, by [`MessageKind`], into the system's telemetry ledger
+/// scope (see [`AsapSystem::ledger_scope`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SystemStats {
     /// Hosts that completed the join handshake.
@@ -97,11 +101,6 @@ pub struct SystemStats {
     pub relayed_calls: u64,
     /// Close cluster sets constructed by surrogates.
     pub close_sets_built: u64,
-    /// Background messages spent constructing close sets (amortized, not
-    /// per-session — §7.3 reports session overhead separately).
-    pub construction_messages: u64,
-    /// Per-session selection messages (the Fig. 18 quantity).
-    pub session_messages: u64,
     /// Surrogate elections performed (bootstrap + cold re-elections).
     pub elections: u64,
     /// Everything spent recovering from injected faults.
@@ -212,6 +211,16 @@ pub struct AsapSystem<'a> {
     /// Monotonic virtual clock, advanced by the event-driven runtime.
     clock_ms: Mutex<u64>,
     stats: Mutex<SystemStats>,
+    /// Shared telemetry context (registry + ledger + spans).
+    telemetry: Telemetry,
+    /// Per-session protocol messages, by kind (the Fig. 18 quantity).
+    scope: LedgerScope,
+    /// Amortized close-set construction messages, kept in a sibling
+    /// scope so the per-session numbers stay clean (§7.3 reports them
+    /// separately).
+    construction_scope: LedgerScope,
+    /// End-to-end RTT of every path a call actually got.
+    call_rtt: HistogramHandle,
 }
 
 /// A cached close cluster set plus the surrogate epochs of every cluster
@@ -243,6 +252,24 @@ impl<'a> AsapSystem<'a> {
     ///
     /// Panics if `config` fails validation.
     pub fn bootstrap(scenario: &'a Scenario, config: AsapConfig) -> Self {
+        Self::bootstrap_scoped(scenario, config, &Telemetry::new(), "ASAP")
+    }
+
+    /// Boots the system recording into `telemetry` under the ledger
+    /// scope `scope_name` (and `"<scope_name>.construction"` for the
+    /// amortized close-set construction messages). Several systems can
+    /// share one telemetry context under distinct scope names — e.g.
+    /// `"ASAP@small"` / `"ASAP@large"` in a scalability sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn bootstrap_scoped(
+        scenario: &'a Scenario,
+        config: AsapConfig,
+        telemetry: &Telemetry,
+        scope_name: &str,
+    ) -> Self {
         config.validate().expect("invalid ASAP configuration");
         let index = ClusterIndex::build(scenario);
         let offline = vec![false; scenario.population.hosts().len()];
@@ -261,6 +288,14 @@ impl<'a> AsapSystem<'a> {
             partitioned: Mutex::new(BTreeSet::new()),
             clock_ms: Mutex::new(0),
             stats: Mutex::new(SystemStats::default()),
+            telemetry: telemetry.clone(),
+            scope: telemetry.ledger().scope(scope_name),
+            construction_scope: telemetry
+                .ledger()
+                .scope(&format!("{scope_name}.construction")),
+            call_rtt: telemetry
+                .registry()
+                .histogram(&format!("{scope_name}.call.rtt_ms")),
         };
         let clustering = scenario.population.clustering();
         let mut replicas = Vec::with_capacity(clustering.cluster_count());
@@ -302,6 +337,23 @@ impl<'a> AsapSystem<'a> {
     /// A snapshot of the counters.
     pub fn stats(&self) -> SystemStats {
         *self.stats.lock()
+    }
+
+    /// The telemetry context this system records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The ledger scope holding this system's per-session protocol
+    /// messages, by [`MessageKind`].
+    pub fn ledger_scope(&self) -> &LedgerScope {
+        &self.scope
+    }
+
+    /// The sibling scope holding the amortized close-set construction
+    /// messages (kept out of the per-session numbers, per §7.3).
+    pub fn construction_scope(&self) -> &LedgerScope {
+        &self.construction_scope
     }
 
     /// Advances the monotonic virtual clock (late values are ignored).
@@ -602,6 +654,9 @@ impl<'a> AsapSystem<'a> {
             // One quorum round among the replica set plus the bootstrap
             // notification.
             stats.recovery.recovery_messages += 2 + set_size as u64;
+            drop(stats);
+            self.scope
+                .record_for_cluster(cluster.0, MessageKind::Handoff, 2 + set_size as u64);
         } else {
             let mut fresh = self.elect_split(cluster, &[lost]);
             let new_members = fresh.members();
@@ -625,6 +680,9 @@ impl<'a> AsapSystem<'a> {
             }
             // Bootstrap notification (2 messages) plus one per member.
             stats.recovery.recovery_messages += 2 + members;
+            drop(stats);
+            self.scope
+                .record_for_cluster(cluster.0, MessageKind::Election, 2 + members);
         }
     }
 
@@ -675,6 +733,7 @@ impl<'a> AsapSystem<'a> {
         for id in watched {
             if self.host_reachable(HostId(id)) {
                 self.membership.lock().heartbeat(id, now_ms);
+                self.scope.record_for_node(id, MessageKind::Heartbeat, 1);
                 heartbeats += 1;
             }
         }
@@ -786,9 +845,11 @@ impl<'a> AsapSystem<'a> {
         let h = self.scenario.population.host(host);
         let cluster = self.scenario.population.cluster_of(host);
         let surrogate = self.serving_surrogate(cluster, host);
-        let mut stats = self.stats.lock();
-        stats.joins += 1;
-        stats.session_messages += 4;
+        self.stats.lock().joins += 1;
+        self.scope.record(MessageKind::JoinRequest, 1);
+        self.scope.record(MessageKind::JoinReply, 1);
+        self.scope.record(MessageKind::CloseSetRequest, 1);
+        self.scope.record(MessageKind::CloseSetReply, 1);
         (h.asn, surrogate)
     }
 
@@ -822,10 +883,17 @@ impl<'a> AsapSystem<'a> {
             cluster,
             &self.config,
         ));
-        let mut stats = self.stats.lock();
-        stats.close_sets_built += 1;
-        stats.construction_messages += set.construction_messages;
-        drop(stats);
+        self.stats.lock().close_sets_built += 1;
+        // Construction cost is probe round trips, attributed to the
+        // cluster whose surrogate did the measuring.
+        let probes = set.construction_messages;
+        self.construction_scope.record_for_cluster(
+            cluster.0,
+            MessageKind::ProbeRequest,
+            probes - probes / 2,
+        );
+        self.construction_scope
+            .record_for_cluster(cluster.0, MessageKind::ProbeReply, probes / 2);
         // Snapshot the epochs of every referenced cluster; the entry dies
         // with the first of them to cold-advance.
         let built_at_ms = self.now_ms();
@@ -863,7 +931,7 @@ impl<'a> AsapSystem<'a> {
     ) -> (Option<Arc<CloseClusterSet>>, DegradationLevel, u64) {
         let mut extra = 0u64;
         if self.cluster_control_usable(cluster) {
-            let faults = *self.message_faults.lock();
+            let faults = self.message_faults.lock().clone();
             let Some(faults) = faults else {
                 return (
                     Some(self.close_set_of(cluster)),
@@ -884,6 +952,8 @@ impl<'a> AsapSystem<'a> {
                     );
                 }
                 extra += 2; // the wasted request/reply pair
+                self.scope.record(MessageKind::CloseSetRequest, 1);
+                self.scope.record(MessageKind::CloseSetReply, 1);
                 let mut stats = self.stats.lock();
                 stats.recovery.timeouts += 1;
                 stats.recovery.retries += 1;
@@ -977,13 +1047,12 @@ impl<'a> AsapSystem<'a> {
         let now = self.now_ms();
         let mut messages = 2; // direct-route ping + reply (or its timeout)
         self.stats.lock().calls += 1;
+        self.scope.record(MessageKind::CallSetup, 2);
 
         if !self.pair_connected(caller, callee) {
             // The direct ping times out, and no relay can bridge into a
             // partitioned AS either: the call fails outright.
-            let mut stats = self.stats.lock();
-            stats.relayed_calls += 1;
-            stats.session_messages += messages;
+            self.stats.lock().relayed_calls += 1;
             return CallOutcome {
                 direct_rtt_ms: None,
                 used_direct: false,
@@ -999,9 +1068,8 @@ impl<'a> AsapSystem<'a> {
 
         if let Some(rtt) = direct_rtt_ms {
             if rtt < self.config.lat_t_ms {
-                let mut stats = self.stats.lock();
-                stats.direct_calls += 1;
-                stats.session_messages += messages;
+                self.stats.lock().direct_calls += 1;
+                self.call_rtt.record(rtt);
                 return CallOutcome {
                     direct_rtt_ms,
                     used_direct: true,
@@ -1030,10 +1098,10 @@ impl<'a> AsapSystem<'a> {
         if isolated {
             self.stats.lock().recovery.forced_direct += 1;
             self.observe_ladder(caller_cluster, DegradationLevel::DirectOnly, now);
-            let mut stats = self.stats.lock();
-            stats.relayed_calls += 1;
-            stats.session_messages += messages;
-            drop(stats);
+            self.stats.lock().relayed_calls += 1;
+            if let Some(rtt) = direct_rtt_ms {
+                self.call_rtt.record(rtt);
+            }
             return CallOutcome {
                 direct_rtt_ms,
                 used_direct: false,
@@ -1067,6 +1135,14 @@ impl<'a> AsapSystem<'a> {
                 &mut fetch,
             );
             messages += sel.messages;
+            // The selection exchange is close-set requests/replies with
+            // the two surrogates (2 messages one-hop; §7.3).
+            self.scope.record(
+                MessageKind::CloseSetRequest,
+                sel.messages - sel.messages / 2,
+            );
+            self.scope
+                .record(MessageKind::CloseSetReply, sel.messages / 2);
             // "Comprehensively considering" the candidates: evaluate the
             // top few by true path RTT (their surrogates' measurements
             // are estimates) and keep the best.
@@ -1076,6 +1152,8 @@ impl<'a> AsapSystem<'a> {
             level = level.max(DegradationLevel::RandomProbe);
             let (best, attempts) = self.probe_relays(caller, callee);
             messages += 2 * attempts;
+            self.scope.record(MessageKind::ProbeRequest, attempts);
+            self.scope.record(MessageKind::ProbeReply, attempts);
             self.stats.lock().recovery.probe_fallbacks += 1;
             match best {
                 Some(path) => chosen = Some(path),
@@ -1092,10 +1170,10 @@ impl<'a> AsapSystem<'a> {
         }
 
         self.observe_ladder(caller_cluster, level, now);
-        let mut stats = self.stats.lock();
-        stats.relayed_calls += 1;
-        stats.session_messages += messages;
-        drop(stats);
+        self.stats.lock().relayed_calls += 1;
+        if let Some(path) = &chosen {
+            self.call_rtt.record(path.rtt_ms);
+        }
 
         CallOutcome {
             direct_rtt_ms,
@@ -1231,7 +1309,8 @@ impl<'a> AsapSystem<'a> {
         stats.recovery.failovers += 1;
         // Re-ping of the replacement path.
         stats.recovery.recovery_messages += 2;
-        stats.session_messages += 2;
+        drop(stats);
+        self.scope.record(MessageKind::CallSetup, 2);
         best
     }
 }
@@ -1555,6 +1634,13 @@ mod tests {
         let cluster = s.population.cluster_of(host);
         assert!(system.surrogates_of(cluster).contains(&surrogate));
         assert_eq!(system.stats().joins, 1);
+        // The 4 join messages (2 round trips) land in the ledger, typed.
+        let scope = system.ledger_scope();
+        assert_eq!(scope.count(MessageKind::JoinRequest), 1);
+        assert_eq!(scope.count(MessageKind::JoinReply), 1);
+        assert_eq!(scope.count(MessageKind::CloseSetRequest), 1);
+        assert_eq!(scope.count(MessageKind::CloseSetReply), 1);
+        assert_eq!(scope.total(), 4);
     }
 
     #[test]
@@ -1737,6 +1823,8 @@ mod tests {
         let stats = system.stats();
         assert_eq!(stats.calls, 10);
         assert_eq!(stats.direct_calls + stats.relayed_calls, 10);
-        assert!(stats.session_messages >= 20);
+        // Every call records at least its 2 setup pings in the ledger.
+        assert!(system.ledger_scope().count(MessageKind::CallSetup) >= 20);
+        assert!(system.ledger_scope().total() >= 20);
     }
 }

@@ -19,6 +19,7 @@
 //! fault (who re-elects, which call fails over) belongs to the protocol
 //! layer consuming the plan.
 
+use asap_telemetry::{Counter, Registry};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -251,6 +252,23 @@ impl FaultPlan {
         &self.events
     }
 
+    /// Records the plan's per-kind injection counts into `registry` as
+    /// `faults.injected.<kind>` counters, so metrics snapshots carry the
+    /// fault load a run was subjected to.
+    pub fn record_to(&self, registry: &Registry) {
+        let name_of = |kind: &FaultKind| match kind {
+            FaultKind::SurrogateCrash { .. } => "faults.injected.surrogate_crash",
+            FaultKind::HostCrash { .. } => "faults.injected.host_crash",
+            FaultKind::AsCongestion { .. } => "faults.injected.as_congestion",
+            FaultKind::MessageDropWindow { .. } => "faults.injected.message_drop_window",
+            FaultKind::StaleCloseSet { .. } => "faults.injected.stale_close_set",
+            FaultKind::AsPartition { .. } => "faults.injected.as_partition",
+        };
+        for e in &self.events {
+            registry.counter(name_of(&e.kind)).inc();
+        }
+    }
+
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -264,12 +282,24 @@ impl FaultPlan {
 
 /// Stateless deterministic message-drop decider: whether a message drops
 /// depends only on (seed, message key), never on query order, so
-/// replays and concurrent queries agree.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// replays and concurrent queries agree. Optionally feeds a telemetry
+/// counter every time a drop decision lands (still order-independent —
+/// the count is the number of queries that dropped, and a deterministic
+/// caller makes the same queries every run).
+#[derive(Debug, Clone)]
 pub struct MessageDrops {
     /// Per-message drop probability in [0, 1).
     pub drop_prob: f64,
     seed: u64,
+    dropped: Option<Counter>,
+}
+
+/// Equality is decision equality: two deciders with the same probability
+/// and seed drop the same messages, whatever counter they feed.
+impl PartialEq for MessageDrops {
+    fn eq(&self, other: &Self) -> bool {
+        self.drop_prob == other.drop_prob && self.seed == other.seed
+    }
 }
 
 impl MessageDrops {
@@ -283,12 +313,29 @@ impl MessageDrops {
             (0.0..1.0).contains(&drop_prob),
             "drop probability {drop_prob} not in [0, 1)"
         );
-        MessageDrops { drop_prob, seed }
+        MessageDrops {
+            drop_prob,
+            seed,
+            dropped: None,
+        }
+    }
+
+    /// Counts every dropped decision on `counter` (e.g. a registry's
+    /// `faults.messages_dropped`).
+    pub fn with_counter(mut self, counter: Counter) -> Self {
+        self.dropped = Some(counter);
+        self
     }
 
     /// Whether the message identified by `key` is dropped.
     pub fn drops(&self, key: u64) -> bool {
-        unit(mix(self.seed, key)) < self.drop_prob
+        let dropped = unit(mix(self.seed, key)) < self.drop_prob;
+        if dropped {
+            if let Some(c) = &self.dropped {
+                c.inc();
+            }
+        }
+        dropped
     }
 }
 

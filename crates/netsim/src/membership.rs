@@ -23,6 +23,8 @@
 
 use std::collections::BTreeMap;
 
+use asap_telemetry::Counter;
+
 /// Tunables of the suspicion detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuspicionConfig {
@@ -223,6 +225,7 @@ fn erfc(x: f64) -> f64 {
 pub struct MembershipView {
     config: SuspicionConfig,
     detectors: BTreeMap<u32, SuspicionDetector>,
+    heartbeats: Option<Counter>,
 }
 
 impl MembershipView {
@@ -231,12 +234,23 @@ impl MembershipView {
         MembershipView {
             config,
             detectors: BTreeMap::new(),
+            heartbeats: None,
         }
+    }
+
+    /// Counts every recorded heartbeat on `counter` (e.g. a registry's
+    /// `membership.heartbeats`).
+    pub fn with_counter(mut self, counter: Counter) -> Self {
+        self.heartbeats = Some(counter);
+        self
     }
 
     /// Starts (or keeps) monitoring `node` and records a heartbeat at
     /// `now_ms`.
     pub fn heartbeat(&mut self, node: u32, now_ms: u64) {
+        if let Some(c) = &self.heartbeats {
+            c.inc();
+        }
         self.detectors
             .entry(node)
             .or_insert_with(|| SuspicionDetector::new(self.config))

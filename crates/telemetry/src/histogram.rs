@@ -1,0 +1,315 @@
+//! Fixed-bucket log-scale histograms with quantile estimation.
+//!
+//! Every histogram in the workspace shares one bucket scheme, so any two
+//! histograms can be merged and any snapshot can be compared across
+//! runs. The scheme covers `[2^-10, 2^30)` — a hair under a millisecond
+//! up to ~12 days when recording virtual milliseconds — with four
+//! sub-buckets per octave, plus an underflow and an overflow bucket.
+//!
+//! # Determinism contract
+//!
+//! Recording is a single atomic add per value: bucket totals are
+//! order-independent, so a histogram filled from the same multiset of
+//! values always snapshots identically, and integer bucket counts (plus
+//! a fixed-point sum) keep the snapshot free of float-accumulation
+//! noise. [`HistogramSnapshot`] serializes through ordered fields only —
+//! byte-identical JSON for a given seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Serialize, Value};
+
+/// log2 of the smallest finite bucket boundary.
+const LOG2_MIN: i32 = -10;
+/// log2 of the overflow boundary.
+const LOG2_MAX: i32 = 30;
+/// Sub-buckets per octave (power of two).
+const SUB: i32 = 4;
+/// Finite value buckets between the under- and overflow buckets.
+const VALUE_BUCKETS: usize = ((LOG2_MAX - LOG2_MIN) * SUB) as usize;
+/// Total bucket count: underflow + finite + overflow.
+pub const BUCKETS: usize = VALUE_BUCKETS + 2;
+
+/// Index of the underflow bucket (values ≤ 0 or below `2^-10`).
+pub const UNDERFLOW: usize = 0;
+/// Index of the overflow bucket (values ≥ `2^30`).
+pub const OVERFLOW: usize = BUCKETS - 1;
+
+/// The lower (inclusive) and upper (exclusive) bound of bucket `index`.
+///
+/// The underflow bucket reports `(f64::NEG_INFINITY, lower_min)` and the
+/// overflow bucket `(upper_max, f64::INFINITY)`.
+pub fn bucket_bounds(index: usize) -> (f64, f64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    let edge = |i: usize| 2f64.powf(LOG2_MIN as f64 + (i as f64) / SUB as f64);
+    if index == UNDERFLOW {
+        (f64::NEG_INFINITY, edge(0))
+    } else if index == OVERFLOW {
+        (edge(VALUE_BUCKETS), f64::INFINITY)
+    } else {
+        (edge(index - 1), edge(index))
+    }
+}
+
+/// The bucket a value lands in. Total over all inputs: every finite
+/// value gets exactly one bucket, and `bucket_bounds(bucket_index(v))`
+/// always contains `v` (floating-point rounding at the edges is
+/// corrected, so the two functions never disagree).
+pub fn bucket_index(value: f64) -> usize {
+    if !value.is_finite() || value <= 0.0 {
+        return UNDERFLOW;
+    }
+    let raw = ((value.log2() - LOG2_MIN as f64) * SUB as f64).floor();
+    let mut idx = if raw < 0.0 {
+        UNDERFLOW
+    } else {
+        (raw as usize + 1).min(OVERFLOW)
+    };
+    // log2 rounding can misplace values sitting exactly on an edge by
+    // one bucket in either direction; nudge until the bounds agree.
+    while idx > 0 && value < bucket_bounds(idx).0 {
+        idx -= 1;
+    }
+    while idx < OVERFLOW && value >= bucket_bounds(idx).1 {
+        idx += 1;
+    }
+    idx
+}
+
+/// A lock-free fixed-bucket log-scale histogram.
+///
+/// Values are f64 (milliseconds, counts, ratios …); recording is one
+/// atomic add on the owning bucket plus two for the count and the
+/// fixed-point sum. Shareable: [`HistogramHandle`] clones are cheap.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Sum of recorded values in thousandths (fixed point, so that
+    /// concurrent adds stay associative and snapshots deterministic).
+    sum_x1000: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_x1000: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: f64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let fixed = if value.is_finite() && value > 0.0 {
+            (value * 1000.0).round() as u64
+        } else {
+            0
+        };
+        self.sum_x1000.fetch_add(fixed, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (reconstructed from the fixed-point
+    /// accumulator; exact to a thousandth per sample).
+    pub fn sum(&self) -> f64 {
+        self.sum_x1000.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// The count in one bucket.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index].load(Ordering::Relaxed)
+    }
+
+    /// Folds another histogram into this one, bucket by bucket. The
+    /// result equals a histogram of the concatenated value streams.
+    pub fn merge_from(&self, other: &Histogram) {
+        for i in 0..BUCKETS {
+            self.buckets[i].fetch_add(other.buckets[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_x1000
+            .fetch_add(other.sum_x1000.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1): the midpoint of the
+    /// bucket holding the rank-`⌊q·(n-1)⌋` value, which is within one
+    /// bucket width of the true quantile of the recorded stream. Returns
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * (n - 1) as f64).floor() as u64).min(n - 1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.bucket_count(i);
+            if seen > rank {
+                let (lo, hi) = bucket_bounds(i);
+                return Some(if i == UNDERFLOW {
+                    0.0
+                } else if i == OVERFLOW {
+                    lo
+                } else {
+                    (lo + hi) / 2.0
+                });
+            }
+        }
+        None
+    }
+
+    /// A serializable, deterministic snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u16, u64)> = (0..BUCKETS)
+            .filter_map(|i| {
+                let c = self.bucket_count(i);
+                (c > 0).then_some((i as u16, c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum_x1000: self.sum_x1000.load(Ordering::Relaxed),
+            p50: self.quantile(0.5),
+            p90: self.quantile(0.9),
+            p99: self.quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// A cheaply clonable handle onto a shared [`Histogram`].
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(pub(crate) Arc<Histogram>);
+
+impl HistogramHandle {
+    /// A handle onto a fresh histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: f64) {
+        self.0.record(value)
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.0
+    }
+}
+
+/// Point-in-time state of one histogram, with sparse non-zero buckets
+/// (`(index, count)` pairs in index order) and derived quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Fixed-point (thousandths) sum of recorded values.
+    pub sum_x1000: u64,
+    /// Estimated median (None when empty).
+    pub p50: Option<f64>,
+    /// Estimated 90th percentile.
+    pub p90: Option<f64>,
+    /// Estimated 99th percentile.
+    pub p99: Option<f64>,
+    /// Non-empty buckets as `(index, count)`, ascending by index.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".to_owned(), Value::U64(self.count)),
+            ("sum_x1000".to_owned(), Value::U64(self.sum_x1000)),
+            ("p50".to_owned(), self.p50.to_value()),
+            ("p90".to_owned(), self.p90.to_value()),
+            ("p99".to_owned(), self.p99.to_value()),
+            (
+                "buckets".to_owned(),
+                Value::Array(
+                    self.buckets
+                        .iter()
+                        .map(|&(i, c)| Value::Array(vec![Value::U64(i as u64), Value::U64(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_contain_their_values() {
+        for v in [0.002, 0.5, 1.0, 2.0, 3.7, 150.0, 1024.0, 1e9] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v < hi, "{v} not in [{lo}, {hi}) (bucket {i})");
+        }
+    }
+
+    #[test]
+    fn underflow_and_overflow() {
+        assert_eq!(bucket_index(0.0), UNDERFLOW);
+        assert_eq!(bucket_index(-5.0), UNDERFLOW);
+        assert_eq!(bucket_index(f64::NAN), UNDERFLOW);
+        assert_eq!(bucket_index(1e300), OVERFLOW);
+    }
+
+    #[test]
+    fn quantiles_track_the_stream() {
+        let h = Histogram::new();
+        for v in 1..=1000 {
+            h.record(v as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let (lo, hi) = bucket_bounds(bucket_index(500.0));
+        assert!(p50 >= lo && p50 <= hi, "p50 {p50} outside [{lo}, {hi}]");
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500_500.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [1.0, 5.0, 9.0] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2.0, 400.0] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), all.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert!(s.buckets.is_empty());
+    }
+}

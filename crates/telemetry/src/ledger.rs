@@ -1,0 +1,308 @@
+//! The unified control-plane message ledger.
+//!
+//! The paper's evaluation is ultimately about protocol *cost*: Fig. 18
+//! compares per-session selection overhead across methods, and the §6.3
+//! load analysis breaks traffic down by type. Before this subsystem the
+//! repro counted messages in three disconnected places (the baseline
+//! selectors, `core::system`, and the event simulation); the ledger is
+//! the single source of truth they all record into.
+//!
+//! A [`MessageLedger`] holds one [`LedgerScope`] per protocol or
+//! subsystem (`"ASAP"`, `"DEDI"`, `"ASAP.construction"`, …). A scope
+//! keeps one atomic counter per [`MessageKind`] — recording on the hot
+//! path is a single atomic add — plus optional per-cluster and per-node
+//! attribution maps for the load-sharing analyses.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+
+/// Typed control-plane message kinds, covering every message the
+/// protocol machine and the baselines send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum MessageKind {
+    /// Join handshake request to a bootstrap node.
+    JoinRequest,
+    /// Join handshake reply.
+    JoinReply,
+    /// Close-cluster-set fetch request to a surrogate.
+    CloseSetRequest,
+    /// Close-cluster-set fetch reply.
+    CloseSetReply,
+    /// Periodic nodal-information publish to the cluster surrogate.
+    Publish,
+    /// RTT probe request (probing baselines, MIX-rung fallback, and
+    /// close-set construction measurements).
+    ProbeRequest,
+    /// RTT probe reply.
+    ProbeReply,
+    /// Liveness heartbeat from a monitored replica member.
+    Heartbeat,
+    /// Warm-handoff quorum round and promotion notification.
+    Handoff,
+    /// Cold re-election notification (bootstrap + cluster members).
+    Election,
+    /// Call-setup pings (direct-route ping and failover re-pings).
+    CallSetup,
+}
+
+/// All kinds, in declaration order (the order scope snapshots use).
+pub const MESSAGE_KINDS: [MessageKind; 11] = [
+    MessageKind::JoinRequest,
+    MessageKind::JoinReply,
+    MessageKind::CloseSetRequest,
+    MessageKind::CloseSetReply,
+    MessageKind::Publish,
+    MessageKind::ProbeRequest,
+    MessageKind::ProbeReply,
+    MessageKind::Heartbeat,
+    MessageKind::Handoff,
+    MessageKind::Election,
+    MessageKind::CallSetup,
+];
+
+impl MessageKind {
+    /// Stable snake_case name used in snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageKind::JoinRequest => "join_request",
+            MessageKind::JoinReply => "join_reply",
+            MessageKind::CloseSetRequest => "close_set_request",
+            MessageKind::CloseSetReply => "close_set_reply",
+            MessageKind::Publish => "publish",
+            MessageKind::ProbeRequest => "probe_request",
+            MessageKind::ProbeReply => "probe_reply",
+            MessageKind::Heartbeat => "heartbeat",
+            MessageKind::Handoff => "handoff",
+            MessageKind::Election => "election",
+            MessageKind::CallSetup => "call_setup",
+        }
+    }
+}
+
+const KINDS: usize = MESSAGE_KINDS.len();
+
+#[derive(Debug)]
+struct ScopeCells {
+    counts: [AtomicU64; KINDS],
+    /// cluster id → per-kind counts (attribution is colder than the
+    /// per-kind totals, so a mutexed map is fine).
+    clusters: Mutex<BTreeMap<u32, [u64; KINDS]>>,
+    /// node id → per-kind counts.
+    nodes: Mutex<BTreeMap<u32, [u64; KINDS]>>,
+}
+
+impl Default for ScopeCells {
+    fn default() -> Self {
+        ScopeCells {
+            counts: [(); KINDS].map(|_| AtomicU64::new(0)),
+            clusters: Mutex::new(BTreeMap::new()),
+            nodes: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+/// A handle onto one scope's message counters (cheap to clone; all
+/// clones record into the same cells).
+#[derive(Debug, Clone, Default)]
+pub struct LedgerScope(Arc<ScopeCells>);
+
+impl LedgerScope {
+    /// A scope detached from any ledger (selectors constructed without a
+    /// shared ledger still meter themselves).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` messages of `kind`. One atomic add.
+    pub fn record(&self, kind: MessageKind, n: u64) {
+        self.0.counts[kind as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` messages of `kind` attributed to `cluster` (also
+    /// counted in the scope totals).
+    pub fn record_for_cluster(&self, cluster: u32, kind: MessageKind, n: u64) {
+        self.record(kind, n);
+        self.0.clusters.lock().entry(cluster).or_insert([0; KINDS])[kind as usize] += n;
+    }
+
+    /// Records `n` messages of `kind` attributed to `node` (also counted
+    /// in the scope totals).
+    pub fn record_for_node(&self, node: u32, kind: MessageKind, n: u64) {
+        self.record(kind, n);
+        self.0.nodes.lock().entry(node).or_insert([0; KINDS])[kind as usize] += n;
+    }
+
+    /// Messages of one kind recorded so far.
+    pub fn count(&self, kind: MessageKind) -> u64 {
+        self.0.counts[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Total messages across all kinds.
+    pub fn total(&self) -> u64 {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A deterministic snapshot of this scope.
+    pub fn snapshot(&self) -> ScopeSnapshot {
+        let kinds: BTreeMap<&'static str, u64> = MESSAGE_KINDS
+            .iter()
+            .filter_map(|&k| {
+                let c = self.count(k);
+                (c > 0).then_some((k.name(), c))
+            })
+            .collect();
+        let per_kind_map = |cells: &[u64; KINDS]| -> BTreeMap<&'static str, u64> {
+            MESSAGE_KINDS
+                .iter()
+                .filter_map(|&k| {
+                    let c = cells[k as usize];
+                    (c > 0).then_some((k.name(), c))
+                })
+                .collect()
+        };
+        ScopeSnapshot {
+            total: self.total(),
+            kinds,
+            clusters: self
+                .0
+                .clusters
+                .lock()
+                .iter()
+                .map(|(&c, cells)| (c, per_kind_map(cells)))
+                .collect(),
+            nodes: self
+                .0
+                .nodes
+                .lock()
+                .iter()
+                .map(|(&n, cells)| (n, per_kind_map(cells)))
+                .collect(),
+        }
+    }
+}
+
+/// The ledger: named scopes over shared cells.
+#[derive(Debug, Clone, Default)]
+pub struct MessageLedger(Arc<Mutex<BTreeMap<String, LedgerScope>>>);
+
+impl MessageLedger {
+    /// A fresh, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scope named `name`, created on first use. Keep the handle;
+    /// recording through it never re-locks the ledger.
+    pub fn scope(&self, name: &str) -> LedgerScope {
+        let mut scopes = self.0.lock();
+        if let Some(s) = scopes.get(name) {
+            return s.clone();
+        }
+        let s = LedgerScope::default();
+        scopes.insert(name.to_owned(), s.clone());
+        s
+    }
+
+    /// Total messages across every scope.
+    pub fn total(&self) -> u64 {
+        self.0.lock().values().map(|s| s.total()).sum()
+    }
+
+    /// A deterministic snapshot of every scope, ordered by name.
+    pub fn snapshot(&self) -> BTreeMap<String, ScopeSnapshot> {
+        self.0
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+/// Point-in-time state of one ledger scope: the per-kind message-count
+/// breakdown plus optional per-cluster / per-node attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeSnapshot {
+    /// Total messages across all kinds.
+    pub total: u64,
+    /// Non-zero per-kind counts, by stable kind name.
+    pub kinds: BTreeMap<&'static str, u64>,
+    /// Per-cluster attribution (cluster id → non-zero per-kind counts).
+    pub clusters: BTreeMap<u32, BTreeMap<&'static str, u64>>,
+    /// Per-node attribution (node id → non-zero per-kind counts).
+    pub nodes: BTreeMap<u32, BTreeMap<&'static str, u64>>,
+}
+
+fn kinds_value(kinds: &BTreeMap<&'static str, u64>) -> Value {
+    Value::Object(
+        kinds
+            .iter()
+            .map(|(&k, &v)| (k.to_owned(), Value::U64(v)))
+            .collect(),
+    )
+}
+
+fn attribution_value(map: &BTreeMap<u32, BTreeMap<&'static str, u64>>) -> Value {
+    Value::Object(
+        map.iter()
+            .map(|(id, kinds)| (id.to_string(), kinds_value(kinds)))
+            .collect(),
+    )
+}
+
+impl Serialize for ScopeSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("total".to_owned(), Value::U64(self.total)),
+            ("kinds".to_owned(), kinds_value(&self.kinds)),
+            ("clusters".to_owned(), attribution_value(&self.clusters)),
+            ("nodes".to_owned(), attribution_value(&self.nodes)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_share_cells_by_name() {
+        let ledger = MessageLedger::new();
+        let a = ledger.scope("ASAP");
+        let b = ledger.scope("ASAP");
+        a.record(MessageKind::CallSetup, 2);
+        b.record(MessageKind::Heartbeat, 1);
+        assert_eq!(ledger.scope("ASAP").total(), 3);
+        assert_eq!(ledger.total(), 3);
+    }
+
+    #[test]
+    fn attribution_feeds_both_levels() {
+        let scope = LedgerScope::detached();
+        scope.record_for_cluster(7, MessageKind::CloseSetRequest, 3);
+        scope.record_for_node(42, MessageKind::Heartbeat, 2);
+        assert_eq!(scope.count(MessageKind::CloseSetRequest), 3);
+        assert_eq!(scope.total(), 5);
+        let snap = scope.snapshot();
+        assert_eq!(snap.clusters[&7]["close_set_request"], 3);
+        assert_eq!(snap.nodes[&42]["heartbeat"], 2);
+    }
+
+    #[test]
+    fn snapshot_elides_zero_kinds() {
+        let scope = LedgerScope::detached();
+        scope.record(MessageKind::ProbeRequest, 5);
+        let snap = scope.snapshot();
+        assert_eq!(snap.kinds.len(), 1);
+        assert_eq!(snap.kinds["probe_request"], 5);
+        assert_eq!(snap.total, 5);
+    }
+}

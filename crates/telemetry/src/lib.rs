@@ -1,0 +1,168 @@
+//! Deterministic telemetry for the ASAP reproduction.
+//!
+//! Three pieces, combined behind the [`Telemetry`] facade:
+//!
+//! * a metrics [`Registry`] of atomic [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket log-scale [`Histogram`]s with quantile estimation;
+//! * a [`SpanTracer`] for sim-time spans — scoped timers keyed on the
+//!   virtual clock, never the wall clock, with an optional JSONL
+//!   [`EventSink`];
+//! * a [`MessageLedger`] of typed control-plane [`MessageKind`]s with
+//!   per-scope, per-cluster, and per-node attribution — the single
+//!   source of truth for the paper's overhead figures (Fig. 18, §6.3).
+//!
+//! # Determinism contract
+//!
+//! Everything here snapshots byte-identically for a given simulation
+//! seed: all accumulators are integers or fixed-point (no float
+//! accumulation order dependence), all snapshot maps are `BTreeMap`s
+//! (no registration-order dependence), and nothing reads the wall
+//! clock. Recording on the hot path is atomic adds only; with the event
+//! sink disabled (the default) no allocation happens per event.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod ledger;
+pub mod registry;
+pub mod spans;
+
+pub use histogram::{
+    bucket_bounds, bucket_index, Histogram, HistogramHandle, HistogramSnapshot, BUCKETS, OVERFLOW,
+    UNDERFLOW,
+};
+pub use ledger::{LedgerScope, MessageKind, MessageLedger, ScopeSnapshot, MESSAGE_KINDS};
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use spans::{EventSink, Span, SpanTracer};
+
+use std::collections::BTreeMap;
+
+use serde::{Serialize, Value};
+
+/// The combined telemetry context handed through a simulation: one
+/// registry, one ledger, one span tracer. Clones are handles onto the
+/// same state, so every subsystem records into the same snapshot.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    registry: Registry,
+    ledger: MessageLedger,
+    spans: SpanTracer,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// A fresh telemetry context with the event sink disabled.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        Telemetry {
+            spans: SpanTracer::new(registry.clone()),
+            ledger: MessageLedger::new(),
+            registry,
+        }
+    }
+
+    /// A fresh context whose span tracer buffers JSONL events.
+    pub fn with_event_buffer() -> Self {
+        let registry = Registry::new();
+        Telemetry {
+            spans: SpanTracer::new(registry.clone()).with_sink(EventSink::buffer()),
+            ledger: MessageLedger::new(),
+            registry,
+        }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The message-overhead ledger.
+    pub fn ledger(&self) -> &MessageLedger {
+        &self.ledger
+    }
+
+    /// The span tracer.
+    pub fn spans(&self) -> &SpanTracer {
+        &self.spans
+    }
+
+    /// A deterministic snapshot of every metric and ledger scope.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            metrics: self.registry.snapshot(),
+            messages: self.ledger.snapshot(),
+        }
+    }
+
+    /// The snapshot as JSON — byte-identical across runs with the same
+    /// seed.
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("telemetry snapshot serializes")
+    }
+}
+
+/// A full telemetry snapshot: registry metrics plus the per-scope
+/// message ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Counters, gauges, and histograms by name.
+    pub metrics: RegistrySnapshot,
+    /// Message-ledger scopes by name.
+    pub messages: BTreeMap<String, ScopeSnapshot>,
+}
+
+impl Serialize for TelemetrySnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("metrics".to_owned(), self.metrics.to_value()),
+            (
+                "messages".to_owned(),
+                Value::Object(
+                    self.messages
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_shares_state_across_clones() {
+        let t = Telemetry::new();
+        let t2 = t.clone();
+        t.registry().counter("calls").inc();
+        t2.ledger().scope("ASAP").record(MessageKind::Heartbeat, 3);
+        let snap = t.snapshot();
+        assert_eq!(snap.metrics.counters["calls"], 1);
+        assert_eq!(snap.messages["ASAP"].kinds["heartbeat"], 3);
+    }
+
+    #[test]
+    fn snapshot_json_is_stable_across_equal_feeds() {
+        let feed = |t: &Telemetry| {
+            t.registry().histogram("rtt").record(42.0);
+            t.registry().counter("b").inc();
+            t.registry().counter("a").add(2);
+            t.ledger().scope("X").record(MessageKind::ProbeRequest, 4);
+            let s = t.spans().start("call", 100);
+            t.spans().end(s, 180);
+        };
+        let t1 = Telemetry::new();
+        let t2 = Telemetry::new();
+        feed(&t1);
+        feed(&t2);
+        assert_eq!(t1.snapshot_json(), t2.snapshot_json());
+    }
+}

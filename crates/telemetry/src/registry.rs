@@ -1,0 +1,237 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Handles are registered once (get-or-create by name) and then recorded
+//! through plain atomics — the registration mutex is never touched on
+//! the hot path. Snapshots iterate `BTreeMap`s, so two registries fed
+//! the same values serialize byte-identically regardless of
+//! registration order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Serialize, Value};
+
+use crate::histogram::{Histogram, HistogramHandle, HistogramSnapshot};
+
+/// A monotonically increasing counter (atomic, cheap to clone).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter detached from any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways (atomic, cheap to
+/// clone).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge detached from any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, HistogramHandle>>,
+}
+
+/// The shared registry. Clones are handles onto the same store.
+#[derive(Debug, Clone, Default)]
+pub struct Registry(Arc<RegistryInner>);
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use. Keep the handle;
+    /// recording through it never re-locks the registry.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.0.counters.lock();
+        if let Some(c) = counters.get(name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        counters.insert(name.to_owned(), c.clone());
+        c
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.0.gauges.lock();
+        if let Some(g) = gauges.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::new();
+        gauges.insert(name.to_owned(), g.clone());
+        g
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut histograms = self.0.histograms.lock();
+        if let Some(h) = histograms.get(name) {
+            return h.clone();
+        }
+        let h = HistogramHandle::new();
+        histograms.insert(name.to_owned(), h.clone());
+        h
+    }
+
+    /// Merges `other`'s histogram named `name` into this registry's
+    /// histogram of the same name (creating it if needed).
+    pub fn merge_histogram(&self, name: &str, other: &Histogram) {
+        self.histogram(name).histogram().merge_from(other);
+    }
+
+    /// A deterministic snapshot of every registered metric. Zero-valued
+    /// counters and empty histograms are kept: a metric that exists but
+    /// never fired is itself a signal.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .0
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .0
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .0
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.histogram().snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time state of a [`Registry`], ordered by metric name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Serialize for RegistrySnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "counters".to_owned(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::U64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_owned(),
+                Value::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::I64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_owned(),
+                Value::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(r.counter("x").get(), 4);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("load");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_complete() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").add(2);
+        r.histogram("h").record(5.0);
+        let s = r.snapshot();
+        let names: Vec<&String> = s.counters.keys().collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(s.histograms["h"].count, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Sim-time span tracing.
+//!
+//! Spans are scoped timers keyed on the *virtual* clock — callers pass
+//! the simulation's current millisecond timestamp in, and the tracer
+//! never consults the wall clock, so traces are fully deterministic per
+//! seed. Ending a span records its duration into a per-span-name
+//! histogram in the shared [`Registry`] (`span.<name>.ms`) and, when a
+//! sink is attached, appends one structured JSONL line. With the sink
+//! disabled (the default) recording is atomics only — no allocation per
+//! event.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::histogram::HistogramHandle;
+use crate::registry::Registry;
+
+/// Where finished-span events go.
+#[derive(Debug, Clone, Default)]
+pub enum EventSink {
+    /// Drop events; only the duration histograms are fed. The default:
+    /// zero allocation per span.
+    #[default]
+    Disabled,
+    /// Buffer JSONL lines in memory; drain with
+    /// [`SpanTracer::drain_events`].
+    Buffer(Arc<Mutex<Vec<String>>>),
+}
+
+impl EventSink {
+    /// An in-memory buffering sink.
+    pub fn buffer() -> Self {
+        EventSink::Buffer(Arc::new(Mutex::new(Vec::new())))
+    }
+}
+
+/// An open span: a named interval of virtual time. Obtained from
+/// [`SpanTracer::start`] and closed with [`SpanTracer::end`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The span's static name (also names its duration histogram).
+    pub name: &'static str,
+    /// Unique id within the tracer (assigned in start order, so
+    /// deterministic for a deterministic simulation).
+    pub id: u64,
+    /// Virtual start time in milliseconds.
+    pub start_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    next_id: AtomicU64,
+    /// Cached duration-histogram handles, one per span name; the
+    /// registry mutex is only touched on first use of a name.
+    histograms: Mutex<BTreeMap<&'static str, HistogramHandle>>,
+}
+
+/// The span tracer. Clones are handles onto the same state.
+#[derive(Debug, Clone)]
+pub struct SpanTracer {
+    registry: Registry,
+    sink: EventSink,
+    inner: Arc<TracerInner>,
+}
+
+impl SpanTracer {
+    /// A tracer recording durations into `registry`, events disabled.
+    pub fn new(registry: Registry) -> Self {
+        SpanTracer {
+            registry,
+            sink: EventSink::Disabled,
+            inner: Arc::new(TracerInner::default()),
+        }
+    }
+
+    /// Replaces the event sink (e.g. with [`EventSink::buffer`]).
+    pub fn with_sink(mut self, sink: EventSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Opens a span named `name` at virtual time `now_ms`.
+    pub fn start(&self, name: &'static str, now_ms: u64) -> Span {
+        Span {
+            name,
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            start_ms: now_ms,
+        }
+    }
+
+    /// Closes `span` at virtual time `now_ms`, recording its duration
+    /// into the `span.<name>.ms` histogram and emitting a JSONL event
+    /// when the sink is enabled. Returns the duration in milliseconds.
+    pub fn end(&self, span: Span, now_ms: u64) -> u64 {
+        let duration = now_ms.saturating_sub(span.start_ms);
+        self.duration_histogram(span.name).record(duration as f64);
+        if let EventSink::Buffer(buf) = &self.sink {
+            buf.lock().push(format!(
+                "{{\"span\":\"{}\",\"id\":{},\"start_ms\":{},\"end_ms\":{},\"duration_ms\":{}}}",
+                span.name, span.id, span.start_ms, now_ms, duration
+            ));
+        }
+        duration
+    }
+
+    /// Drains buffered JSONL event lines (empty when the sink is
+    /// disabled).
+    pub fn drain_events(&self) -> Vec<String> {
+        match &self.sink {
+            EventSink::Disabled => Vec::new(),
+            EventSink::Buffer(buf) => std::mem::take(&mut *buf.lock()),
+        }
+    }
+
+    fn duration_histogram(&self, name: &'static str) -> HistogramHandle {
+        let mut cache = self.inner.histograms.lock();
+        if let Some(h) = cache.get(name) {
+            return h.clone();
+        }
+        let h = self.registry.histogram(&format!("span.{name}.ms"));
+        cache.insert(name, h.clone());
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_feed_duration_histograms() {
+        let registry = Registry::new();
+        let tracer = SpanTracer::new(registry.clone());
+        let s = tracer.start("call", 100);
+        assert_eq!(tracer.end(s, 350), 250);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["span.call.ms"].count, 1);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let tracer = SpanTracer::new(Registry::new());
+        assert_eq!(tracer.start("a", 0).id, 0);
+        assert_eq!(tracer.start("b", 0).id, 1);
+        assert_eq!(tracer.start("a", 0).id, 2);
+    }
+
+    #[test]
+    fn buffer_sink_emits_jsonl() {
+        let tracer = SpanTracer::new(Registry::new()).with_sink(EventSink::buffer());
+        let s = tracer.start("partition", 10);
+        tracer.end(s, 60);
+        let lines = tracer.drain_events();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0],
+            "{\"span\":\"partition\",\"id\":0,\"start_ms\":10,\"end_ms\":60,\"duration_ms\":50}"
+        );
+        assert!(tracer.drain_events().is_empty());
+    }
+
+    #[test]
+    fn disabled_sink_buffers_nothing() {
+        let tracer = SpanTracer::new(Registry::new());
+        let s = tracer.start("x", 0);
+        tracer.end(s, 5);
+        assert!(tracer.drain_events().is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the log-scale histogram: bucket placement,
+//! quantile error bounds, and merge semantics.
+
+use asap_telemetry::{bucket_bounds, bucket_index, Histogram, BUCKETS, OVERFLOW, UNDERFLOW};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every positive finite value lands in a bucket whose bounds
+    /// contain it.
+    #[test]
+    fn recorded_values_land_in_their_bucket(v in 1e-6f64..1e12) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(
+            v >= lo && v < hi,
+            "{v} placed in bucket {i} with bounds [{lo}, {hi})"
+        );
+    }
+
+    /// Bucket bounds tile the positive axis: consecutive finite buckets
+    /// share an edge, so no value can fall between buckets.
+    #[test]
+    fn buckets_tile_without_gaps(i in (UNDERFLOW + 1)..(OVERFLOW - 1)) {
+        let (_, hi) = bucket_bounds(i);
+        let (next_lo, _) = bucket_bounds(i + 1);
+        prop_assert_eq!(hi, next_lo);
+    }
+
+    /// The quantile estimate is within one bucket width of the true
+    /// quantile of the recorded stream (values kept in the finite
+    /// bucket range so width is well defined).
+    #[test]
+    fn quantile_within_one_bucket_width(
+        values in proptest::collection::vec(0.01f64..1e6, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut values = values;
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * (values.len() - 1) as f64).floor() as usize).min(values.len() - 1);
+        let truth = values[rank];
+        let estimate = h.quantile(q).unwrap();
+        let (lo, hi) = bucket_bounds(bucket_index(truth));
+        let width = hi - lo;
+        prop_assert!(
+            (estimate - truth).abs() <= width,
+            "estimate {estimate} vs true {truth}, bucket width {width}"
+        );
+    }
+
+    /// Merging two histograms equals one histogram fed the concatenated
+    /// stream — same buckets, count, sum, and quantiles.
+    #[test]
+    fn merge_equals_concatenated_stream(
+        xs in proptest::collection::vec(0.001f64..1e9, 0..100),
+        ys in proptest::collection::vec(0.001f64..1e9, 0..100),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge_from(&b);
+        prop_assert_eq!(a.snapshot(), all.snapshot());
+    }
+}

@@ -14,6 +14,8 @@
 //!   MM'01): duplicate every packet over two paths and play the first
 //!   copy that arrives.
 
+use asap_telemetry::{Counter, HistogramHandle};
+
 use crate::dynamics::PathDynamics;
 use crate::stream::{packet_fate, PacketFate, StreamConfig};
 
@@ -110,6 +112,7 @@ pub struct Switcher {
     interval_bad: u32,
     interval_start: u64,
     switches: Vec<PathSwitch>,
+    telemetry: Option<(Counter, HistogramHandle)>,
 }
 
 impl Switcher {
@@ -123,7 +126,17 @@ impl Switcher {
             interval_bad: 0,
             interval_start: 0,
             switches: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Records every path switch on `switch_count` and the dwell time
+    /// (virtual ms spent on the abandoned path) into `dwell_ms` — e.g. a
+    /// registry's `transport.path_switches` counter and
+    /// `transport.path_dwell_ms` histogram.
+    pub fn with_telemetry(mut self, switch_count: Counter, dwell_ms: HistogramHandle) -> Self {
+        self.telemetry = Some((switch_count, dwell_ms));
+        self
     }
 
     /// The currently active path index.
@@ -178,6 +191,10 @@ impl Switcher {
             }
         }
         if best != self.active && best_loss + 0.02 < loss {
+            if let Some((count, dwell)) = &self.telemetry {
+                count.inc();
+                dwell.record(send_ms.saturating_sub(self.last_switch_ms) as f64);
+            }
             self.active = best;
             self.last_switch_ms = send_ms;
             self.switches.push(PathSwitch {
@@ -223,13 +240,25 @@ mod tests {
 
     #[test]
     fn switcher_fails_over_on_sustained_loss() {
-        let mut sw = Switcher::new(0, SwitchingConfig::default());
+        let registry = asap_telemetry::Registry::new();
+        let mut sw = Switcher::new(0, SwitchingConfig::default()).with_telemetry(
+            registry.counter("transport.path_switches"),
+            registry.histogram("transport.path_dwell_ms"),
+        );
         // 3 seconds of pure loss on path 0, standby path 1 is clean.
         for seq in 0..150u64 {
             sw.observe(seq * 20, PacketFate::Lost, 2, |_, _| 0.0);
         }
         assert_eq!(sw.active(), 1);
         assert_eq!(sw.switches().len(), 1);
+        assert_eq!(registry.counter("transport.path_switches").get(), 1);
+        assert_eq!(
+            registry
+                .histogram("transport.path_dwell_ms")
+                .histogram()
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -65,6 +65,6 @@ fn main() {
         stats.direct_calls,
         stats.relayed_calls,
         stats.close_sets_built,
-        stats.session_messages
+        system.ledger_scope().total()
     );
 }

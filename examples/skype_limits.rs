@@ -78,6 +78,6 @@ fn main() {
     }
     println!(
         "\n(ASAP total session messages: {}; selection is immediate — zero stabilization time)",
-        system.stats().session_messages
+        system.ledger_scope().total()
     );
 }

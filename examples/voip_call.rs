@@ -92,25 +92,22 @@ fn main() {
         mos.mos_from_rtt(chosen.rtt_ms, chosen.loss)
     );
 
-    // How do the baselines fare on the same call?
-    for (name, out) in [
-        (
-            "DEDI(80)",
-            Dedi::new(&scenario, 80).select(&scenario, s.session, &req),
-        ),
-        (
-            "RAND(200)",
-            RandSel::new(200, 1).select(&scenario, s.session, &req),
-        ),
-        ("OPT", Opt::new().select(&scenario, s.session, &req)),
-    ] {
+    // How do the baselines fare on the same call? Message spend comes
+    // from each selector's ledger scope via `select_metered`.
+    let dedi = Dedi::new(&scenario, 80);
+    let rand = RandSel::new(200, 1);
+    let opt = Opt::new();
+    let selectors: [(&str, &dyn RelaySelector); 3] =
+        [("DEDI(80)", &dedi), ("RAND(200)", &rand), ("OPT", &opt)];
+    for (name, selector) in selectors {
+        let (out, spent) = asap_baselines::select_metered(selector, &scenario, s.session, &req);
         match out.best {
             Some(b) => println!(
                 "{name:>9}: best {:.0} ms (MOS {:.2}), {} quality paths, {} messages",
                 b.rtt_ms,
                 mos.mos_from_rtt(b.rtt_ms, 0.005),
                 out.quality_paths,
-                out.messages
+                spent
             ),
             None => println!("{name:>9}: found nothing"),
         }

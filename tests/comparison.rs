@@ -62,7 +62,8 @@ fn asap_dominates_baselines_and_approaches_opt() {
     for s in latent.iter().take(60) {
         let sess = s.session;
         let o_opt = opt.select(&scenario, sess, &req);
-        asap_msgs.push(asap.select(&scenario, sess, &req).messages);
+        let (_, asap_spent) = asap_baselines::select_metered(&asap, &scenario, sess, &req);
+        asap_msgs.push(asap_spent);
         let opt_best = match &o_opt.best {
             Some(b) if req.rtt_ok(b.rtt_ms) => b.rtt_ms,
             _ => continue,
