@@ -5,7 +5,7 @@ use asap_voip::QualityRequirement;
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
 
-use crate::selector::{eval_one_hop, RelaySelector, SelectionOutcome};
+use crate::selector::{eval_one_hop, RelayLoad, RelaySelector, SelectionOutcome};
 
 /// The RON-like baseline: a fixed set of dedicated relay nodes, one per
 /// cluster, placed in the clusters whose ASes have the largest connection
@@ -19,6 +19,7 @@ use crate::selector::{eval_one_hop, RelaySelector, SelectionOutcome};
 pub struct Dedi {
     nodes: Vec<HostId>,
     scope: LedgerScope,
+    load: Option<RelayLoad>,
 }
 
 impl Dedi {
@@ -42,7 +43,16 @@ impl Dedi {
         Dedi {
             nodes,
             scope: LedgerScope::detached(),
+            load: None,
         }
+    }
+
+    /// Charges each session's chosen relay path to `load` — the
+    /// relay-load parity measurement the overload evaluation compares
+    /// against ASAP's bounded slots.
+    pub fn with_load(mut self, load: RelayLoad) -> Self {
+        self.load = Some(load);
+        self
     }
 
     /// Records this method's probes into `scope` (e.g. a shared ledger's
@@ -77,6 +87,9 @@ impl RelaySelector for Dedi {
             if let Some(path) = eval_one_hop(scenario, session, r) {
                 out.consider(path, requirement);
             }
+        }
+        if let (Some(load), Some(best)) = (&self.load, &out.best) {
+            load.record(&best.relays);
         }
         out
     }

@@ -38,4 +38,4 @@ pub use ed::EarliestDivergence;
 pub use mix::Mix;
 pub use opt::Opt;
 pub use rand_sel::RandSel;
-pub use selector::{select_metered, RelayPath, RelaySelector, SelectionOutcome};
+pub use selector::{select_metered, RelayLoad, RelayPath, RelaySelector, SelectionOutcome};

@@ -7,7 +7,7 @@ use asap_workload::Scenario;
 
 use crate::dedi::Dedi;
 use crate::rand_sel::RandSel;
-use crate::selector::{RelaySelector, SelectionOutcome};
+use crate::selector::{RelayLoad, RelaySelector, SelectionOutcome};
 
 /// The combination baseline of §7.1: "MIX probes 160 nodes, including 40
 /// dedicated nodes and 120 randomly probed nodes".
@@ -16,6 +16,7 @@ pub struct Mix {
     dedi: Dedi,
     rand: RandSel,
     scope: LedgerScope,
+    load: Option<RelayLoad>,
 }
 
 impl Mix {
@@ -27,7 +28,17 @@ impl Mix {
             dedi: Dedi::new(scenario, dedicated).with_scope(scope.clone()),
             rand: RandSel::new(random, seed).with_scope(scope.clone()),
             scope,
+            load: None,
         }
+    }
+
+    /// Charges each session's *combined* best relay path to `load`. Only
+    /// MIX's own pick is recorded — the components keep their trackers
+    /// unset so a session is never charged to both a dedicated and a
+    /// random candidate.
+    pub fn with_load(mut self, load: RelayLoad) -> Self {
+        self.load = Some(load);
+        self
     }
 
     /// Records this method's probes (both components) into `scope`
@@ -67,6 +78,9 @@ impl RelaySelector for Mix {
             (Some(x), Some(y)) => Some(if x.rtt_ms <= y.rtt_ms { x } else { y }),
             (x, y) => x.or(y),
         };
+        if let (Some(load), Some(best)) = (&self.load, &out.best) {
+            load.record(&best.relays);
+        }
         out
     }
 

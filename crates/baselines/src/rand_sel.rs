@@ -7,7 +7,7 @@ use asap_workload::{HostId, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::selector::{eval_one_hop, RelaySelector, SelectionOutcome};
+use crate::selector::{eval_one_hop, RelayLoad, RelaySelector, SelectionOutcome};
 
 /// The SOSR-like baseline: each session probes `count` uniformly random
 /// peers as one-hop relays (§7.1: "RAND randomly selects 200 nodes").
@@ -21,6 +21,7 @@ pub struct RandSel {
     count: usize,
     seed: u64,
     scope: LedgerScope,
+    load: Option<RelayLoad>,
 }
 
 impl RandSel {
@@ -31,7 +32,16 @@ impl RandSel {
             count,
             seed,
             scope: LedgerScope::detached(),
+            load: None,
         }
+    }
+
+    /// Charges each session's chosen relay path to `load` — the
+    /// relay-load parity measurement the overload evaluation compares
+    /// against ASAP's bounded slots.
+    pub fn with_load(mut self, load: RelayLoad) -> Self {
+        self.load = Some(load);
+        self
     }
 
     /// Records this method's probes into `scope` (e.g. a shared ledger's
@@ -74,6 +84,9 @@ impl RelaySelector for RandSel {
             if let Some(path) = eval_one_hop(scenario, session, r) {
                 out.consider(path, requirement);
             }
+        }
+        if let (Some(load), Some(best)) = (&self.load, &out.best) {
+            load.record(&best.relays);
         }
         out
     }

@@ -1,9 +1,88 @@
 //! The common interface all relay-selection methods implement.
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
 use asap_telemetry::LedgerScope;
 use asap_voip::QualityRequirement;
 use asap_workload::sessions::Session;
 use asap_workload::{HostId, Scenario};
+
+/// A shared per-relay load tally: how many sessions each relay host ended
+/// up carrying under a selection method. ASAP bounds this with relay-call
+/// slots and spillover; the baselines have no such mechanism, so the
+/// overload evaluation needs the same measurement on their side to show
+/// the difference (DEDI concentrates its whole workload on a fixed node
+/// set, RAND spreads it thin, MIX sits in between).
+///
+/// Clones share the same tally, so one tracker can be threaded through a
+/// method and read by the harness.
+#[derive(Debug, Clone, Default)]
+pub struct RelayLoad {
+    counts: Arc<Mutex<BTreeMap<u32, u64>>>,
+}
+
+impl RelayLoad {
+    /// An empty tally.
+    pub fn new() -> Self {
+        RelayLoad::default()
+    }
+
+    /// Charges one session to every host on the chosen relay path.
+    pub fn record(&self, relays: &[HostId]) {
+        let mut counts = self.counts.lock().expect("relay-load poisoned");
+        for r in relays {
+            *counts.entry(r.0).or_insert(0) += 1;
+        }
+    }
+
+    /// Sessions charged to `host` so far.
+    pub fn load_of(&self, host: HostId) -> u64 {
+        self.counts
+            .lock()
+            .expect("relay-load poisoned")
+            .get(&host.0)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The hottest relay's session count — the number the capacity model
+    /// bounds on the ASAP side.
+    pub fn max_load(&self) -> u64 {
+        self.counts
+            .lock()
+            .expect("relay-load poisoned")
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total relay-host charges across all sessions.
+    pub fn total(&self) -> u64 {
+        self.counts
+            .lock()
+            .expect("relay-load poisoned")
+            .values()
+            .sum()
+    }
+
+    /// Number of distinct relay hosts that carried at least one session.
+    pub fn relays_used(&self) -> u64 {
+        self.counts.lock().expect("relay-load poisoned").len() as u64
+    }
+
+    /// The full tally in ascending host-id order (deterministic for
+    /// snapshot comparison).
+    pub fn snapshot(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .lock()
+            .expect("relay-load poisoned")
+            .iter()
+            .map(|(&h, &n)| (h, n))
+            .collect()
+    }
+}
 
 /// One candidate relay path: one or two intermediary hosts with the
 /// resulting end-to-end RTT and loss.
@@ -162,5 +241,72 @@ mod tests {
         out.consider(path(500.0), &req);
         assert_eq!(out.quality_paths, 0);
         assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn relay_load_tallies_per_host() {
+        let load = RelayLoad::new();
+        load.record(&[HostId(3)]);
+        load.record(&[HostId(3)]);
+        load.record(&[HostId(7), HostId(9)]); // a two-hop path charges both
+        assert_eq!(load.load_of(HostId(3)), 2);
+        assert_eq!(load.load_of(HostId(9)), 1);
+        assert_eq!(load.load_of(HostId(1)), 0);
+        assert_eq!(load.max_load(), 2);
+        assert_eq!(load.total(), 4);
+        assert_eq!(load.relays_used(), 3);
+        assert_eq!(load.snapshot(), vec![(3, 2), (7, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn relay_load_clones_share_the_tally() {
+        let load = RelayLoad::new();
+        let shared = load.clone();
+        shared.record(&[HostId(5)]);
+        assert_eq!(load.load_of(HostId(5)), 1);
+    }
+
+    #[test]
+    fn dedi_concentrates_load_on_its_fixed_nodes() {
+        use crate::dedi::Dedi;
+        use asap_workload::ScenarioConfig;
+        let s = Scenario::build(ScenarioConfig::tiny(), 5);
+        let load = RelayLoad::new();
+        let dedi = Dedi::new(&s, 5).with_load(load.clone());
+        let req = QualityRequirement::default();
+        let mut picked = 0u64;
+        for i in 0..40u32 {
+            let sess = Session {
+                caller: HostId(i),
+                callee: HostId(200 + i),
+            };
+            if dedi.select(&s, sess, &req).best.is_some() {
+                picked += 1;
+            }
+        }
+        // Every session that found a path charged exactly one relay, and
+        // all charges land on the fixed dedicated node set.
+        assert_eq!(load.total(), picked);
+        assert!(load.relays_used() <= 5);
+        for (host, _) in load.snapshot() {
+            assert!(dedi.nodes().contains(&HostId(host)));
+        }
+    }
+
+    #[test]
+    fn mix_charges_one_relay_path_per_session() {
+        use crate::mix::Mix;
+        use asap_workload::ScenarioConfig;
+        let s = Scenario::build(ScenarioConfig::tiny(), 5);
+        let load = RelayLoad::new();
+        let mix = Mix::new(&s, 5, 10, 3).with_load(load.clone());
+        let req = QualityRequirement::default();
+        let sess = Session {
+            caller: HostId(0),
+            callee: HostId(77),
+        };
+        let out = mix.select(&s, sess, &req);
+        // The combined pick is charged once — never both components.
+        assert_eq!(load.total(), u64::from(out.best.is_some()));
     }
 }

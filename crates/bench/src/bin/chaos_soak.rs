@@ -15,11 +15,16 @@
 //! 4. after all faults healed, no cluster was left with an unusable
 //!    control plane (nobody is permanently stuck down the ladder).
 //!
-//! The run prints a human table, then one JSON line; the process exits
-//! nonzero if any invariant is violated. Two runs with the same `--seed`
-//! produce byte-identical JSON.
+//! A second phase re-runs the same churn/partition schedule with the
+//! overload squeeze on top (skewed callers + tight capacity budgets):
+//! saturation pressure must not erode the invariants — in particular a
+//! busy relay is never an excuse to route through a dead one.
+//!
+//! The run prints a human table and one JSON line per phase; the process
+//! exits nonzero if any invariant is violated in either phase. Two runs
+//! with the same `--seed` produce byte-identical JSON.
 
-use asap_bench::experiments::{chaos_soak_with, json_lines};
+use asap_bench::experiments::{chaos_overload_phase, chaos_soak_with, json_lines};
 use asap_bench::{row, section, Args, Scale};
 use asap_telemetry::Telemetry;
 
@@ -28,6 +33,7 @@ fn main() {
     let scenario = args.scenario();
     let telemetry = Telemetry::new();
     let report = chaos_soak_with(&scenario, args.seed, args.sessions, &telemetry);
+    let overload = chaos_overload_phase(&scenario, args.seed, args.sessions, &telemetry);
 
     section("chaos soak: churn + partition schedule");
     row(&[&"metric", &"value"]);
@@ -53,16 +59,29 @@ fn main() {
     row(&[&"unterminated calls", &report.unterminated_calls]);
     row(&[&"stuck clusters", &report.stuck_clusters]);
 
+    section("overload phase: same schedule + skewed callers + tight capacity");
+    row(&[&"metric", &"value"]);
+    row(&[&"completed", &overload.calls_completed]);
+    row(&[&"dropped", &overload.calls_dropped]);
+    row(&[&"midcall failovers", &overload.midcall_failovers]);
+    row(&[&"degraded calls", &overload.degraded_calls]);
+    row(&[&"dead-relay calls", &overload.dead_relay_calls]);
+    row(&[&"unexcused degraded", &overload.unexcused_degraded_calls]);
+    row(&[&"unterminated calls", &overload.unterminated_calls]);
+    row(&[&"stuck clusters", &overload.stuck_clusters]);
+
     section("json");
-    print!("{}", json_lines(std::slice::from_ref(&report)));
+    print!("{}", json_lines(&[report.clone(), overload.clone()]));
 
     args.write_metrics(&telemetry);
 
-    if report.violations() > 0 {
-        eprintln!(
-            "chaos soak FAILED: {} invariant violation(s)",
-            report.violations()
-        );
+    let violations = report.violations() + overload.violations();
+    assert_eq!(
+        overload.dead_relay_calls, 0,
+        "saturation must never push a call through a dead relay"
+    );
+    if violations > 0 {
+        eprintln!("chaos soak FAILED: {violations} invariant violation(s)");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,114 @@
+//! Overload soak — the capacity/admission acceptance gate.
+//!
+//! Drives a fault-free but heavily *skewed* caller population through
+//! the event simulation twice:
+//!
+//! 1. **capacity enabled** — the real configuration: surrogate
+//!    admission queues with deadlines, load shedding into the
+//!    degradation ladder, hedged close-set fetches, relay-call slots
+//!    with busy-spillover and saturation failover;
+//! 2. **capacity disabled** — the regression guard: the same squeeze
+//!    with no enforcement must reproduce the unbounded hot-surrogate
+//!    behavior (nothing queued, nothing shed, and a hot-surrogate load
+//!    at least as heavy as the bounded run's).
+//!
+//! The enabled run asserts the overload invariants:
+//!
+//! 1. every offered call is accounted for — completed or no-path, with
+//!    shed calls served degraded rather than lost;
+//! 2. admission control never loses a fetch
+//!    (admitted + queued + shed == offered);
+//! 3. the deepest admission queue stays within the configured bound;
+//! 4. every session terminates inside the simulated window.
+//!
+//! The run prints a human table per side, then one JSON line per side;
+//! the process exits nonzero on any violation or a broken regression
+//! guard. Two runs with the same `--seed` produce byte-identical JSON
+//! and `--metrics-out` snapshots.
+
+use asap_bench::experiments::{json_lines, overload_soak_with, OverloadSoakReport};
+use asap_bench::{row, section, Args, Scale};
+use asap_telemetry::Telemetry;
+
+fn print_side(report: &OverloadSoakReport) {
+    section(&format!(
+        "overload soak: skewed callers, capacity {}",
+        if report.capacity_enabled {
+            "ENABLED"
+        } else {
+            "disabled (regression guard)"
+        }
+    ));
+    row(&[&"metric", &"value"]);
+    row(&[&"sessions", &report.sessions]);
+    row(&[&"completed", &report.calls_completed]);
+    row(&[&"no path", &report.calls_without_path]);
+    row(&[&"shed→degraded calls", &report.overload_shed_calls]);
+    row(&[&"fetches offered", &report.offered_fetches]);
+    row(&[&"admitted", &report.admitted_fetches]);
+    row(&[&"queued", &report.queued_fetches]);
+    row(&[&"shed", &report.shed_fetches]);
+    row(&[&"max queue depth", &report.max_queue_depth]);
+    row(&[&"hedged fetches", &report.hedged_fetches]);
+    row(&[&"hedge wins", &report.hedge_wins]);
+    row(&[&"relay busy skips", &report.relay_busy_skips]);
+    row(&[&"relay spillovers", &report.relay_spillovers]);
+    row(&[&"saturation failovers", &report.saturation_failovers]);
+    row(&[&"max relay slots in use", &report.max_relay_slots_in_use]);
+    row(&[&"hot surrogate load", &report.hot_surrogate_load]);
+
+    section("invariants (must all be 0)");
+    row(&[&"unaccounted calls", &report.unaccounted_calls]);
+    row(&[&"unaccounted fetches", &report.unaccounted_fetches]);
+    row(&[&"queue depth violations", &report.queue_depth_violations]);
+    row(&[&"unterminated calls", &report.unterminated_calls]);
+}
+
+fn main() {
+    let args = Args::parse(Scale::Tiny);
+    let scenario = args.scenario();
+    let telemetry = Telemetry::new();
+    let bounded = overload_soak_with(&scenario, args.seed, args.sessions, true, &telemetry);
+    let unbounded = overload_soak_with(&scenario, args.seed, args.sessions, false, &telemetry);
+
+    print_side(&bounded);
+    print_side(&unbounded);
+
+    section("json");
+    print!("{}", json_lines(&[bounded.clone(), unbounded.clone()]));
+
+    args.write_metrics(&telemetry);
+
+    let mut failures = Vec::new();
+    if bounded.violations() > 0 {
+        failures.push(format!(
+            "{} invariant violation(s) with capacity enabled",
+            bounded.violations()
+        ));
+    }
+    if unbounded.violations() > 0 {
+        failures.push(format!(
+            "{} invariant violation(s) with capacity disabled",
+            unbounded.violations()
+        ));
+    }
+    // Regression guard: with enforcement off, nothing may be queued or
+    // shed, and the hottest surrogate must absorb at least the load the
+    // bounded run capped — otherwise the capacity model isn't actually
+    // the thing doing the bounding.
+    if unbounded.queued_fetches + unbounded.shed_fetches + unbounded.hedged_fetches > 0 {
+        failures.push("disabled run queued/shed/hedged fetches".to_owned());
+    }
+    if unbounded.hot_surrogate_load < bounded.hot_surrogate_load {
+        failures.push(format!(
+            "disabled run's hot surrogate ({}) cooler than bounded run's ({})",
+            unbounded.hot_surrogate_load, bounded.hot_surrogate_load
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("overload soak FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,7 @@
 
 use asap_core::events::{run_with, SimConfig, SimReport};
 use asap_core::AsapConfig;
+use asap_netsim::capacity::CapacityConfig;
 use asap_netsim::faults::FaultPlanConfig;
 use asap_telemetry::Telemetry;
 use asap_workload::Scenario;
@@ -248,6 +249,7 @@ pub fn chaos_soak_sim(seed: u64, sessions: usize) -> SimConfig {
             partition_per_tick: 0.01,
             ..Default::default()
         }),
+        caller_skew: 1.0,
         last_call_ms: Some(duration_ms - call_duration_ms),
         final_recovery_check: true,
         seed,
@@ -285,6 +287,219 @@ pub fn chaos_soak_with(
     let sim = chaos_soak_sim(seed, sessions);
     let report = run_with(scenario, chaos_soak_config(), &sim, telemetry, "ASAP");
     ChaosSoakReport::from_report(seed, sessions, &report)
+}
+
+/// Summary of one overload-soak run: a skewed caller population hammers
+/// a small set of hot surrogates and relays, with the capacity model
+/// either bounding the load (admission control, shedding, hedging,
+/// relay-slot spillover) or — for the regression guard — switched off.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverloadSoakReport {
+    /// Constant `"overload_soak"`.
+    pub experiment: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Whether the capacity model was enabled.
+    pub capacity_enabled: bool,
+    /// Sessions scheduled.
+    pub sessions: u64,
+    /// Calls that completed (direct or relayed).
+    pub calls_completed: u64,
+    /// Calls with no route at all.
+    pub calls_without_path: u64,
+    /// Calls whose close-set fetch was shed and that were served from a
+    /// degraded rung instead.
+    pub overload_shed_calls: u64,
+    /// Fetches offered to admission control.
+    pub offered_fetches: u64,
+    /// Fetches admitted immediately.
+    pub admitted_fetches: u64,
+    /// Fetches admitted after queueing.
+    pub queued_fetches: u64,
+    /// Fetches shed (queue full + deadline).
+    pub shed_fetches: u64,
+    /// Deepest admission queue observed.
+    pub max_queue_depth: u64,
+    /// Hedge legs issued.
+    pub hedged_fetches: u64,
+    /// Hedge legs that answered first.
+    pub hedge_wins: u64,
+    /// Relay candidates skipped on the `Busy` verdict.
+    pub relay_busy_skips: u64,
+    /// Calls that spilled over to a later candidate.
+    pub relay_spillovers: u64,
+    /// Mid-call failovers triggered by relay saturation.
+    pub saturation_failovers: u64,
+    /// Relay-slot occupancy high-water mark.
+    pub max_relay_slots_in_use: u32,
+    /// Heaviest served-request load on a single surrogate.
+    pub hot_surrogate_load: u64,
+    /// INVARIANT — calls not accounted for as completed or
+    /// no-path (every offered call must land somewhere). Must be 0.
+    pub unaccounted_calls: u64,
+    /// INVARIANT — fetches that left admission control untallied
+    /// (offered − admitted − queued − shed). Must be 0.
+    pub unaccounted_fetches: u64,
+    /// INVARIANT — queue-depth observations beyond the configured
+    /// bound. Must be 0.
+    pub queue_depth_violations: u64,
+    /// INVARIANT — sessions still active at the end of the run. Must
+    /// be 0.
+    pub unterminated_calls: u64,
+}
+
+impl OverloadSoakReport {
+    /// Total invariant violations (0 = the run is clean).
+    pub fn violations(&self) -> u64 {
+        self.unaccounted_calls
+            + self.unaccounted_fetches
+            + self.queue_depth_violations
+            + self.unterminated_calls
+    }
+
+    fn from_report(
+        seed: u64,
+        sessions: usize,
+        config: &AsapConfig,
+        report: &SimReport,
+    ) -> OverloadSoakReport {
+        let o = &report.overload;
+        let accounted = report.calls_completed + report.calls_without_path;
+        let admission_total =
+            o.admitted_fetches + o.queued_fetches + o.shed_queue_full + o.shed_deadline;
+        let bound = u64::from(config.capacity.queue_limit);
+        OverloadSoakReport {
+            experiment: "overload_soak".to_owned(),
+            seed,
+            capacity_enabled: config.capacity.enabled,
+            sessions: sessions as u64,
+            calls_completed: report.calls_completed,
+            calls_without_path: report.calls_without_path,
+            overload_shed_calls: report.overload_shed_calls,
+            offered_fetches: o.offered_fetches,
+            admitted_fetches: o.admitted_fetches,
+            queued_fetches: o.queued_fetches,
+            shed_fetches: o.shed_fetches(),
+            max_queue_depth: o.max_queue_depth,
+            hedged_fetches: o.hedged_fetches,
+            hedge_wins: o.hedge_wins,
+            relay_busy_skips: o.relay_busy_skips,
+            relay_spillovers: o.relay_spillovers,
+            saturation_failovers: report.saturation_failovers,
+            max_relay_slots_in_use: report.max_relay_slots_in_use,
+            hot_surrogate_load: o.hot_surrogate_load,
+            unaccounted_calls: (sessions as u64).saturating_sub(accounted),
+            unaccounted_fetches: o.offered_fetches.saturating_sub(admission_total),
+            queue_depth_violations: o.max_queue_depth.saturating_sub(bound),
+            unterminated_calls: report.unterminated_calls,
+        }
+    }
+}
+
+/// The skewed-caller schedule the overload soak drives.
+///
+/// No injected faults: the only stressor is load. A caller skew of 4
+/// concentrates most sessions on a low-host-id prefix, so those hosts'
+/// clusters see far more close-set fetches and relay traffic than the
+/// capacity budget allows — exactly the hot-surrogate shape the
+/// admission queue, shedding, hedging, and relay spillover exist for.
+pub fn overload_soak_sim(seed: u64, sessions: usize) -> SimConfig {
+    let duration_ms = 1_800_000;
+    let call_duration_ms = 120_000;
+    SimConfig {
+        join_window_ms: 60_000,
+        duration_ms,
+        calls: sessions,
+        surrogate_failures: 0,
+        call_duration_ms,
+        faults: None,
+        caller_skew: 4.0,
+        last_call_ms: Some(duration_ms - call_duration_ms),
+        final_recovery_check: true,
+        seed,
+    }
+}
+
+/// The protocol configuration the overload soak runs under.
+///
+/// `latT` is tightened to 150 ms for the same reason as
+/// [`chaos_soak_config`], and the capacity knobs are squeezed far below
+/// their defaults (one request per surrogate per 2 s window, a queue of
+/// 16 with a 1.5 s deadline, one relay slot plus two per unit
+/// capability) so bench-scale load actually saturates them: the hot
+/// surrogates must queue, shed past the deadline, and push callers onto
+/// hedges and the degraded rungs. `enabled: false` is the regression
+/// guard: the same squeeze with no enforcement must reproduce the
+/// unbounded hot-surrogate behavior.
+pub fn overload_soak_config(enabled: bool) -> AsapConfig {
+    let mut config = AsapConfig {
+        lat_t_ms: 150.0,
+        ..Default::default()
+    };
+    config.capacity = CapacityConfig {
+        enabled,
+        relay_slots_base: 1,
+        relay_slots_per_capability: 2.0,
+        surrogate_budget: 1,
+        budget_window_ms: 2_000,
+        queue_limit: 16,
+        queue_deadline_ms: 1_500,
+        hedge_delay_ms: 200,
+    };
+    config
+}
+
+/// Runs the overload soak and returns its summary.
+pub fn overload_soak(
+    scenario: &Scenario,
+    seed: u64,
+    sessions: usize,
+    enabled: bool,
+) -> OverloadSoakReport {
+    overload_soak_with(scenario, seed, sessions, enabled, &Telemetry::new())
+}
+
+/// [`overload_soak`] recording into a caller-provided telemetry context.
+/// Enabled and disabled runs get distinct ledger scopes so one snapshot
+/// can hold both sides of the regression guard.
+pub fn overload_soak_with(
+    scenario: &Scenario,
+    seed: u64,
+    sessions: usize,
+    enabled: bool,
+    telemetry: &Telemetry,
+) -> OverloadSoakReport {
+    let sim = overload_soak_sim(seed, sessions);
+    let config = overload_soak_config(enabled);
+    let scope = if enabled { "ASAP" } else { "ASAP@nocap" };
+    let report = run_with(scenario, config, &sim, telemetry, scope);
+    OverloadSoakReport::from_report(seed, sessions, &config, &report)
+}
+
+/// The combined overload + crash + partition phase of the chaos soak:
+/// the full churn/partition schedule of [`chaos_soak_sim`] with the
+/// caller skew and squeezed capacity of the overload soak on top. The
+/// point is that saturation pressure must not erode the fault
+/// invariants — in particular `dead_relay_calls == 0` (a busy relay is
+/// never an excuse to route through a dead one).
+pub fn chaos_overload_phase(
+    scenario: &Scenario,
+    seed: u64,
+    sessions: usize,
+    telemetry: &Telemetry,
+) -> ChaosSoakReport {
+    let sim = SimConfig {
+        caller_skew: 4.0,
+        ..chaos_soak_sim(seed, sessions)
+    };
+    let config = AsapConfig {
+        capacity: overload_soak_config(true).capacity,
+        ..chaos_soak_config()
+    };
+    let report = run_with(scenario, config, &sim, telemetry, "ASAP@overload");
+    let mut summary = ChaosSoakReport::from_report(seed, sessions, &report);
+    summary.experiment = "chaos_soak_overload".to_owned();
+    summary
 }
 
 /// Serializes rows as newline-delimited JSON, one object per line.

@@ -7,7 +7,8 @@
 //! the exact artifact a reader would diff between runs.
 
 use asap_bench::experiments::{
-    chaos_soak, chaos_soak_with, fault_recovery_sweep, fault_recovery_sweep_with, json_lines,
+    chaos_overload_phase, chaos_soak, chaos_soak_with, fault_recovery_sweep,
+    fault_recovery_sweep_with, json_lines, overload_soak, overload_soak_with,
 };
 use asap_bench::Scale;
 use asap_telemetry::Telemetry;
@@ -72,6 +73,70 @@ fn chaos_soak_telemetry_snapshot_is_byte_identical_across_runs() {
         "snapshot carries the call-RTT histogram: {a}"
     );
     assert_eq!(a, b, "same seed must reproduce the same snapshot bytes");
+}
+
+#[test]
+fn overload_soak_json_is_byte_identical_across_runs() {
+    let scenario = tiny_scenario(7);
+    let run = |_: ()| {
+        json_lines(&[
+            overload_soak(&scenario, 7, 400, true),
+            overload_soak(&scenario, 7, 400, false),
+        ])
+    };
+    let a = run(());
+    let b = run(());
+    assert!(a.contains("\"capacity_enabled\":true"));
+    assert_eq!(a, b, "same seed must reproduce the same JSON bytes");
+}
+
+#[test]
+fn overload_soak_accounts_for_everything() {
+    let scenario = tiny_scenario(7);
+    let bounded = overload_soak(&scenario, 7, 400, true);
+    let unbounded = overload_soak(&scenario, 7, 400, false);
+    assert_eq!(bounded.violations(), 0, "bounded run: {bounded:?}");
+    assert_eq!(unbounded.violations(), 0, "unbounded run: {unbounded:?}");
+    // The regression guard's shape: no enforcement ⇒ nothing queued,
+    // shed, or hedged, and the hot surrogate at least as loaded.
+    assert_eq!(unbounded.queued_fetches, 0);
+    assert_eq!(unbounded.shed_fetches, 0);
+    assert_eq!(unbounded.hedged_fetches, 0);
+    assert!(unbounded.hot_surrogate_load >= bounded.hot_surrogate_load);
+}
+
+#[test]
+fn overload_soak_telemetry_snapshot_is_byte_identical_across_runs() {
+    let scenario = tiny_scenario(7);
+    let snap = |_: ()| {
+        let telemetry = Telemetry::new();
+        overload_soak_with(&scenario, 7, 400, true, &telemetry);
+        telemetry.snapshot_json()
+    };
+    let a = snap(());
+    let b = snap(());
+    assert!(
+        a.contains("admission.offered"),
+        "snapshot carries the admission meters: {a}"
+    );
+    assert_eq!(a, b, "same seed must reproduce the same snapshot bytes");
+}
+
+#[test]
+fn chaos_overload_phase_holds_the_dead_relay_invariant() {
+    let scenario = tiny_scenario(9);
+    let telemetry = Telemetry::new();
+    let a = chaos_overload_phase(&scenario, 9, 400, &telemetry);
+    let b = chaos_overload_phase(&scenario, 9, 400, &Telemetry::new());
+    assert_eq!(
+        a.dead_relay_calls, 0,
+        "saturation must never route a call through a dead relay"
+    );
+    assert_eq!(a.violations(), 0, "overload phase: {a:?}");
+    assert_eq!(
+        json_lines(std::slice::from_ref(&a)),
+        json_lines(std::slice::from_ref(&b))
+    );
 }
 
 #[test]

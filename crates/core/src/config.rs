@@ -1,5 +1,6 @@
 //! Protocol configuration.
 
+use asap_netsim::capacity::CapacityConfig;
 use asap_netsim::faults::RetryPolicy;
 use asap_netsim::membership::SuspicionConfig;
 
@@ -85,6 +86,10 @@ pub struct AsapConfig {
     pub retry: RetryPolicy,
     /// Membership, replication, and graceful-degradation parameters.
     pub membership: MembershipConfig,
+    /// Per-host capacity bounds: relay-call slots, the surrogate
+    /// request-rate budget with its bounded deadline-aware admission
+    /// queue, and the hedged-fetch delay.
+    pub capacity: CapacityConfig,
 }
 
 impl Default for AsapConfig {
@@ -98,6 +103,7 @@ impl Default for AsapConfig {
             members_per_surrogate: 300,
             retry: RetryPolicy::default(),
             membership: MembershipConfig::default(),
+            capacity: CapacityConfig::default(),
         }
     }
 }
@@ -124,6 +130,7 @@ impl AsapConfig {
         }
         self.retry.validate()?;
         self.membership.validate()?;
+        self.capacity.validate()?;
         Ok(())
     }
 }
@@ -193,6 +200,28 @@ mod tests {
         // Nested suspicion config is validated through AsapConfig too.
         let mut config = AsapConfig::default();
         config.membership.suspicion.heartbeat_interval_ms = 0;
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn capacity_validation_flows_through() {
+        // Zero capacity (no request budget) must be rejected at
+        // construction, not misbehave at runtime.
+        let mut config = AsapConfig::default();
+        config.capacity.surrogate_budget = 0;
+        assert!(config.validate().is_err());
+        // Zero hedge delay likewise.
+        let mut config = AsapConfig::default();
+        config.capacity.hedge_delay_ms = 0;
+        assert!(config.validate().is_err());
+        // Zero retry timeout is caught by the nested retry policy.
+        let mut config = AsapConfig::default();
+        config.retry.timeout_ms = 0;
+        assert!(config.validate().is_err());
+        // A disabled capacity model is still validated.
+        let mut config = AsapConfig::default();
+        config.capacity.enabled = false;
+        config.capacity.queue_limit = 0;
         assert!(config.validate().is_err());
     }
 }

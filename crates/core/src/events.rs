@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::AsapConfig;
 use crate::ladder::DegradationLevel;
 use crate::select::CloseRelaySelection;
-use crate::system::{AsapSystem, RecoveryStats};
+use crate::system::{AsapSystem, OverloadStats, RecoveryStats};
 
 /// Message taxonomy for the load accounting. Derived at the end of a
 /// run from the system's telemetry ledger scope — the simulation no
@@ -43,12 +43,21 @@ pub struct MessageCounts {
     pub call: u64,
     /// Liveness heartbeats from monitored replica members.
     pub heartbeat: u64,
+    /// Hedged close-set fetch legs to standby replicas (both the
+    /// request and the reply of every hedge, win or lose).
+    pub hedge: u64,
 }
 
 impl MessageCounts {
     /// Total messages of all types.
     pub fn total(&self) -> u64 {
-        self.join + self.close_set + self.publish + self.election + self.call + self.heartbeat
+        self.join
+            + self.close_set
+            + self.publish
+            + self.election
+            + self.call
+            + self.heartbeat
+            + self.hedge
     }
 }
 
@@ -80,6 +89,11 @@ pub struct SimConfig {
     /// members ([`SimReport::stuck_clusters`] — the "no permanently
     /// stuck degraded mode" invariant).
     pub final_recovery_check: bool,
+    /// Caller-population skew: 1.0 draws callers uniformly; above 1.0
+    /// callers concentrate on a shrinking prefix of the host space
+    /// (`⌊n·u^skew⌋` for uniform `u`), hammering a few clusters'
+    /// surrogates — the overload-soak workload shape.
+    pub caller_skew: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -95,6 +109,7 @@ impl Default for SimConfig {
             faults: None,
             last_call_ms: None,
             final_recovery_check: false,
+            caller_skew: 1.0,
             seed: 0,
         }
     }
@@ -143,6 +158,18 @@ pub struct SimReport {
     /// Protocol-side recovery counters (retries, handoffs, re-elections,
     /// ladder transitions), snapshotted from the system at the end.
     pub recovery: RecoveryStats,
+    /// Capacity-model counters (admission verdicts, hedges, spillovers,
+    /// surrogate-load high-water marks), snapshotted from the system at
+    /// the end.
+    pub overload: OverloadStats,
+    /// Calls whose close-set fetch was shed by admission control and
+    /// that were served from the degraded rungs instead of failing.
+    pub overload_shed_calls: u64,
+    /// Mid-call failovers triggered because a relay-slot acquire pushed
+    /// a host over its limit (saturation treated like a crash).
+    pub saturation_failovers: u64,
+    /// Relay-slot occupancy high-water mark across all hosts.
+    pub max_relay_slots_in_use: u32,
     /// Message counters by type.
     pub messages: MessageCounts,
     /// Virtual time at which the simulation ended.
@@ -233,7 +260,16 @@ pub fn run_with(
         .unwrap_or(sim.duration_ms)
         .max(sim.join_window_ms + 1);
     for _ in 0..sim.calls {
-        let caller = HostId(rng.gen_range(0..hosts.len()) as u32);
+        // The uniform draw stays byte-for-byte on the historical RNG
+        // stream; the skewed draw (⌊n·u^skew⌋) concentrates callers on a
+        // prefix of the host space to hammer a few surrogates.
+        let caller = if sim.caller_skew == 1.0 {
+            HostId(rng.gen_range(0..hosts.len()) as u32)
+        } else {
+            let u: f64 = rng.gen();
+            let idx = (hosts.len() as f64 * u.powf(sim.caller_skew)) as usize;
+            HostId(idx.min(hosts.len() - 1) as u32)
+        };
         let callee = loop {
             let c = HostId(rng.gen_range(0..hosts.len()) as u32);
             if c != caller {
@@ -335,14 +371,19 @@ pub fn run_with(
             }
             Event::Call(session) => {
                 let outcome = system.call(session.caller, session.callee);
+                if outcome.shed_by_overload {
+                    report.overload_shed_calls += 1;
+                }
                 if outcome.degradation > DegradationLevel::FullAsap {
                     report.degraded_calls += 1;
                     // A downgrade is legitimate only while the control
-                    // plane is actually impaired: a drop window is live
-                    // or an endpoint cluster cannot answer.
+                    // plane is actually impaired: a drop window is live,
+                    // an endpoint cluster cannot answer, or admission
+                    // control shed the fetch to protect a surrogate.
                     let caller_cluster = scenario.population.cluster_of(session.caller);
                     let callee_cluster = scenario.population.cluster_of(session.callee);
-                    let excused = drop_windows_active > 0
+                    let excused = outcome.shed_by_overload
+                        || drop_windows_active > 0
                         || !system.cluster_control_usable(caller_cluster)
                         || !system.cluster_control_usable(callee_cluster)
                         || system.is_partitioned(scenario.population.host(session.caller).asn.0)
@@ -370,16 +411,25 @@ pub fn run_with(
                         call.degraded = true;
                         report.congestion_degraded_calls += 1;
                     }
+                    // The path starts carrying media: occupy one relay
+                    // slot per relay. Saturated relays are treated like
+                    // crashed ones — every call through them fails over.
+                    let saturated = system.acquire_relays(&call.relays);
                     let id = next_call_id;
                     next_call_id += 1;
                     active.insert(id, call);
                     queue.schedule(now.after_ms(sim.call_duration_ms), Event::EndCall(id));
+                    for r in saturated {
+                        report.saturation_failovers += 1;
+                        fail_over_calls(&system, &mut active, &mut report, r, now);
+                    }
                 } else {
                     report.calls_without_path += 1;
                 }
             }
             Event::EndCall(id) => {
                 if let Some(call) = active.remove(&id) {
+                    system.release_relays(&call.relays);
                     spans.end(call.span, now.as_ms());
                 }
             }
@@ -443,7 +493,10 @@ pub fn run_with(
             }
         }
     }
-    report.recovery = system.stats().recovery;
+    let stats = system.stats();
+    report.recovery = stats.recovery;
+    report.overload = stats.overload;
+    report.max_relay_slots_in_use = system.max_relay_slots_in_use();
     let delta = |k: MessageKind| scope.count(k) - base[k as usize];
     report.messages = MessageCounts {
         join: delta(MessageKind::JoinRequest) + delta(MessageKind::JoinReply),
@@ -454,6 +507,7 @@ pub fn run_with(
             + delta(MessageKind::ProbeRequest)
             + delta(MessageKind::ProbeReply),
         heartbeat: delta(MessageKind::Heartbeat),
+        hedge: delta(MessageKind::HedgeRequest) + delta(MessageKind::HedgeReply),
     };
     report
 }
@@ -513,6 +567,7 @@ fn apply_fault(
                 .collect();
             for id in severed {
                 if let Some(call) = active.remove(&id) {
+                    system.release_relays(&call.relays);
                     spans.end(call.span, now.as_ms());
                 }
                 report.partition_dropped_calls += 1;
@@ -581,12 +636,19 @@ fn fail_over_calls(
         });
         match replacement {
             Some(path) => {
+                // Swap the slot occupancy to the replacement path. A
+                // cascade (the replacement saturating too) is not chased
+                // here: the load-aware re-pick already routed around
+                // busy relays, and the next placement will again.
+                system.release_relays(&call.relays);
+                let _ = system.acquire_relays(&path.relays);
                 call.relays = path.relays;
                 report.midcall_failovers += 1;
             }
             None => {
                 report.calls_dropped += 1;
                 let call = active.remove(&id).expect("still in the map");
+                system.release_relays(&call.relays);
                 system.telemetry().spans().end(call.span, now.as_ms());
             }
         }
@@ -755,6 +817,54 @@ mod tests {
         assert_eq!(report.stuck_clusters, 0);
         // Degraded service actually happened and was recorded.
         assert!(report.degraded_calls > 0 || report.partition_dropped_calls > 0);
+    }
+
+    #[test]
+    fn skewed_overload_sheds_without_losing_the_workload() {
+        let s = scenario();
+        // Tight capacity + heavily skewed callers: a few surrogates get
+        // hammered and must queue, shed, and hedge — without losing a
+        // single call or tripping an invariant.
+        let config = AsapConfig {
+            lat_t_ms: 150.0, // force relay selection at tiny scale
+            capacity: asap_netsim::capacity::CapacityConfig {
+                surrogate_budget: 2,
+                budget_window_ms: 1000,
+                queue_limit: 8,
+                queue_deadline_ms: 1500,
+                hedge_delay_ms: 200,
+                relay_slots_base: 1,
+                relay_slots_per_capability: 2.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let sim = SimConfig {
+            calls: 120,
+            surrogate_failures: 0,
+            caller_skew: 4.0,
+            duration_ms: 120_000,
+            call_duration_ms: 60_000,
+            last_call_ms: Some(60_000),
+            ..Default::default()
+        };
+        let report = run(&s, config, &sim);
+        // Every offered call and every offered fetch is accounted for.
+        assert_eq!(report.calls_completed + report.calls_without_path, 120);
+        assert!(report.overload.accounted(), "{:?}", report.overload);
+        assert!(report.overload.offered_fetches > 0);
+        // Shedding excuses the degradation it causes.
+        assert_eq!(report.dead_relay_calls, 0);
+        assert_eq!(report.unexcused_degraded_calls, 0);
+        // The queue bound held.
+        assert!(
+            report.overload.max_queue_depth <= u64::from(config.capacity.queue_limit),
+            "queue depth escaped its bound: {:?}",
+            report.overload
+        );
+        // Determinism: the whole report reproduces bit-for-bit.
+        let again = run(&s, config, &sim);
+        assert_eq!(report, again);
     }
 
     #[test]

@@ -62,6 +62,6 @@ pub use config::{AsapConfig, MembershipConfig};
 pub use ladder::{DegradationLadder, DegradationLevel};
 pub use selector::AsapSelector;
 pub use system::{
-    AsapSystem, CallOutcome, ChosenPath, MembershipTickReport, RecoveryStats, ReplicaSet,
-    SystemStats,
+    AsapSystem, CallOutcome, ChosenPath, FetchResult, MembershipTickReport, OverloadStats,
+    RecoveryStats, ReplicaSet, SystemStats,
 };

@@ -24,13 +24,14 @@
 //! `surrogate_of` at pick time. Without quorum the cluster falls back to a
 //! cold re-election with the PR1 purge semantics.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use asap_cluster::{Asn, ClusterId};
+use asap_netsim::capacity::{Admission, AdmissionQueue, RelaySlots, ShedCause, SlotVerdict};
 use asap_netsim::faults::MessageDrops;
 use asap_netsim::membership::{MembershipView, Verdict};
-use asap_telemetry::{HistogramHandle, LedgerScope, MessageKind, Telemetry};
+use asap_telemetry::{Counter, Gauge, HistogramHandle, LedgerScope, MessageKind, Telemetry};
 use asap_workload::{HostId, Scenario};
 use parking_lot::Mutex;
 
@@ -85,6 +86,62 @@ pub struct RecoveryStats {
     pub forced_direct: u64,
 }
 
+/// Counters of everything the capacity model did: admission verdicts on
+/// close-set fetches, hedged fetch legs, load-aware relay spillovers,
+/// and the surrogate-load high-water marks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Close-set fetches offered to admission control (every fetch that
+    /// reached a usable surrogate, whether or not capacity is enabled).
+    pub offered_fetches: u64,
+    /// Fetches admitted with no queueing delay.
+    pub admitted_fetches: u64,
+    /// Fetches admitted after waiting in the surrogate's bounded queue.
+    pub queued_fetches: u64,
+    /// Total virtual milliseconds queued fetches waited for a service
+    /// slot.
+    pub queue_wait_ms: u64,
+    /// Fetches shed because the surrogate's queue was full.
+    pub shed_queue_full: u64,
+    /// Fetches shed because the queueing delay would have exceeded the
+    /// deadline.
+    pub shed_deadline: u64,
+    /// Deepest admission queue observed across all surrogates.
+    pub max_queue_depth: u64,
+    /// Hedge legs issued to standby replicas (queue delay or retry
+    /// backoff crossed the hedge delay).
+    pub hedged_fetches: u64,
+    /// Hedge legs whose answer arrived first and served the fetch.
+    pub hedge_wins: u64,
+    /// Relay candidates skipped during path evaluation because every
+    /// relay-call slot was occupied (the typed `Busy` verdict).
+    pub relay_busy_skips: u64,
+    /// Calls that spilled over to a later candidate after at least one
+    /// busy skip.
+    pub relay_spillovers: u64,
+    /// Relay slot acquisitions that pushed a host over its limit (the
+    /// runtime treats these like relay crashes and fails away).
+    pub saturated_acquires: u64,
+    /// Close-set requests actually served by surrogates (shed fetches
+    /// never reach one, so they do not count).
+    pub surrogate_requests: u64,
+    /// Heaviest per-(cluster, surrogate) served-request load observed.
+    pub hot_surrogate_load: u64,
+}
+
+impl OverloadStats {
+    /// Fetches shed by admission control, for either cause.
+    pub fn shed_fetches(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline
+    }
+
+    /// The conservation invariant: every offered fetch is admitted,
+    /// queued, or shed — none lost.
+    pub fn accounted(&self) -> bool {
+        self.offered_fetches == self.admitted_fetches + self.queued_fetches + self.shed_fetches()
+    }
+}
+
 /// Counters describing everything the system did since bootstrap.
 /// Message costs are no longer counted here: every control message is
 /// recorded, by [`MessageKind`], into the system's telemetry ledger
@@ -105,6 +162,9 @@ pub struct SystemStats {
     pub elections: u64,
     /// Everything spent recovering from injected faults.
     pub recovery: RecoveryStats,
+    /// Everything the capacity model did: admission verdicts, hedges,
+    /// spillovers, surrogate-load high-water marks.
+    pub overload: OverloadStats,
 }
 
 /// The outcome of one call placed through ASAP.
@@ -125,6 +185,25 @@ pub struct CallOutcome {
     pub messages: u64,
     /// The service-ladder rung this call was served at.
     pub degradation: DegradationLevel,
+    /// Whether admission control shed a close-set fetch of this call
+    /// (the call was then served from the degraded rungs instead of
+    /// failing).
+    pub shed_by_overload: bool,
+}
+
+/// The outcome of one possibly-degraded, possibly-hedged close-set
+/// fetch.
+#[derive(Debug, Clone)]
+pub struct FetchResult {
+    /// The close set obtained, if any rung produced one.
+    pub set: Option<Arc<CloseClusterSet>>,
+    /// The service-ladder rung the set was obtained at.
+    pub level: DegradationLevel,
+    /// Extra messages spent on dropped attempts and hedge legs.
+    pub extra_messages: u64,
+    /// Whether admission control shed this fetch before it reached the
+    /// surrogate.
+    pub shed: bool,
 }
 
 /// The concrete path a call ends up using.
@@ -205,6 +284,14 @@ pub struct AsapSystem<'a> {
     membership: Mutex<MembershipView>,
     /// Per-cluster graceful-degradation ladder state.
     ladders: Mutex<Vec<DegradationLadder>>,
+    /// Per-(cluster, surrogate) admission queues: the virtual-service-
+    /// clock request budget with its bounded, deadline-aware queue.
+    admissions: Mutex<BTreeMap<(ClusterId, HostId), AdmissionQueue>>,
+    /// Per-host relay-call slot occupancy (`None` when the capacity
+    /// model is disabled).
+    relay_slots: Option<Mutex<RelaySlots>>,
+    /// Registry handles for the overload counters.
+    overload_meters: OverloadMeters,
     /// ASNs currently cut off by an AS partition (hosts intact but
     /// silent to the outside).
     partitioned: Mutex<BTreeSet<u32>>,
@@ -231,6 +318,49 @@ struct CachedCloseSet {
     set: Arc<CloseClusterSet>,
     /// Virtual time the set was built — bounds the stale-close-set rung.
     built_at_ms: u64,
+}
+
+/// Registry handles for the overload counters, created once at
+/// bootstrap so the admission/hedge hot paths never re-lock the
+/// registry.
+#[derive(Debug)]
+struct OverloadMeters {
+    offered: Counter,
+    admitted: Counter,
+    queued: Counter,
+    shed_queue_full: Counter,
+    shed_deadline: Counter,
+    hedged: Counter,
+    hedge_wins: Counter,
+    busy_skips: Counter,
+    spillovers: Counter,
+    saturated: Counter,
+    surrogate_requests: Counter,
+    max_queue_depth: Gauge,
+    hot_surrogate: Gauge,
+}
+
+impl OverloadMeters {
+    fn new(telemetry: &Telemetry, scope_name: &str) -> Self {
+        let registry = telemetry.registry();
+        let counter = |name: &str| registry.counter(&format!("{scope_name}.{name}"));
+        let gauge = |name: &str| registry.gauge(&format!("{scope_name}.{name}"));
+        OverloadMeters {
+            offered: counter("admission.offered"),
+            admitted: counter("admission.admitted"),
+            queued: counter("admission.queued"),
+            shed_queue_full: counter("admission.shed_queue_full"),
+            shed_deadline: counter("admission.shed_deadline"),
+            hedged: counter("hedge.sent"),
+            hedge_wins: counter("hedge.wins"),
+            busy_skips: counter("relay.busy_skips"),
+            spillovers: counter("relay.spillovers"),
+            saturated: counter("relay.saturated_acquires"),
+            surrogate_requests: counter("surrogate.requests"),
+            max_queue_depth: gauge("admission.max_queue_depth"),
+            hot_surrogate: gauge("surrogate.hot_load"),
+        }
+    }
 }
 
 /// SplitMix64 finalizer: the deterministic hash behind MIX-style probing.
@@ -274,6 +404,16 @@ impl<'a> AsapSystem<'a> {
         let index = ClusterIndex::build(scenario);
         let offline = vec![false; scenario.population.hosts().len()];
         let cluster_count = scenario.population.clustering().cluster_count();
+        let relay_slots = config.capacity.enabled.then(|| {
+            Mutex::new(RelaySlots::new(
+                &config.capacity,
+                scenario
+                    .population
+                    .hosts()
+                    .iter()
+                    .map(|h| h.nodal.capability()),
+            ))
+        });
         let system = AsapSystem {
             scenario,
             config,
@@ -285,6 +425,9 @@ impl<'a> AsapSystem<'a> {
             message_faults: Mutex::new(None),
             membership: Mutex::new(MembershipView::new(config.membership.suspicion)),
             ladders: Mutex::new(vec![DegradationLadder::default(); cluster_count]),
+            admissions: Mutex::new(BTreeMap::new()),
+            relay_slots,
+            overload_meters: OverloadMeters::new(telemetry, scope_name),
             partitioned: Mutex::new(BTreeSet::new()),
             clock_ms: Mutex::new(0),
             stats: Mutex::new(SystemStats::default()),
@@ -401,6 +544,15 @@ impl<'a> AsapSystem<'a> {
     /// surrogates by requester hash, and the chosen surrogate's load
     /// counter is bumped.
     pub fn serving_surrogate(&self, cluster: ClusterId, requester: HostId) -> HostId {
+        let pick = self.route_surrogate(cluster, requester);
+        self.record_surrogate_load(cluster, pick);
+        pick
+    }
+
+    /// The surrogate `requester`'s request would route to, without
+    /// bumping any load counter — admission control must know the
+    /// target before deciding whether the request is served at all.
+    fn route_surrogate(&self, cluster: ClusterId, requester: HostId) -> HostId {
         let actives = self.surrogates_of(cluster);
         let usable: Vec<HostId> = actives
             .iter()
@@ -408,13 +560,28 @@ impl<'a> AsapSystem<'a> {
             .filter(|&h| self.host_usable(h))
             .collect();
         let pool = if usable.is_empty() { &actives } else { &usable };
-        let pick = pool[(requester.0 as usize) % pool.len()];
-        *self
-            .surrogate_load
-            .lock()
-            .entry((cluster, pick))
-            .or_insert(0) += 1;
-        pick
+        pool[(requester.0 as usize) % pool.len()]
+    }
+
+    /// Bumps `surrogate`'s served-request counter. Only *served*
+    /// requests count — shed fetches never reach the surrogate, which
+    /// is exactly the load relief the admission queue buys.
+    fn record_surrogate_load(&self, cluster: ClusterId, surrogate: HostId) {
+        let served = {
+            let mut load = self.surrogate_load.lock();
+            let entry = load.entry((cluster, surrogate)).or_insert(0);
+            *entry += 1;
+            *entry
+        };
+        self.overload_meters.surrogate_requests.inc();
+        let mut stats = self.stats.lock();
+        stats.overload.surrogate_requests += 1;
+        stats.overload.hot_surrogate_load = stats.overload.hot_surrogate_load.max(served);
+        drop(stats);
+        let gauge = &self.overload_meters.hot_surrogate;
+        if served as i64 > gauge.get() {
+            gauge.set(served as i64);
+        }
     }
 
     /// Close-set requests served so far by `surrogate` on behalf of
@@ -425,6 +592,78 @@ impl<'a> AsapSystem<'a> {
             .get(&(cluster, surrogate))
             .copied()
             .unwrap_or(0)
+    }
+
+    /// The heaviest per-(cluster, surrogate) served-request load so far
+    /// — the hot-surrogate number the overload bench guards.
+    pub fn hot_surrogate_load(&self) -> u64 {
+        self.surrogate_load
+            .lock()
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Runs `surrogate`'s admission control for one close-set request
+    /// at the current virtual time. With the capacity model disabled
+    /// every request is admitted immediately, but the offer is still
+    /// counted so the conservation invariant (offered = admitted +
+    /// queued + shed) holds in both modes.
+    fn admit_request(&self, cluster: ClusterId, surrogate: HostId) -> Admission {
+        let meters = &self.overload_meters;
+        if !self.config.capacity.enabled {
+            let mut stats = self.stats.lock();
+            stats.overload.offered_fetches += 1;
+            stats.overload.admitted_fetches += 1;
+            drop(stats);
+            meters.offered.inc();
+            meters.admitted.inc();
+            return Admission::Admit {
+                waited_ms: 0,
+                depth: 0,
+            };
+        }
+        let now = self.now_ms();
+        let (verdict, max_depth) = {
+            let mut queues = self.admissions.lock();
+            let queue = queues
+                .entry((cluster, surrogate))
+                .or_insert_with(|| AdmissionQueue::new(&self.config.capacity));
+            (queue.offer(now), queue.max_depth())
+        };
+        meters.offered.inc();
+        let mut stats = self.stats.lock();
+        let overload = &mut stats.overload;
+        overload.offered_fetches += 1;
+        overload.max_queue_depth = overload.max_queue_depth.max(u64::from(max_depth));
+        match verdict {
+            Admission::Admit { waited_ms: 0, .. } => {
+                overload.admitted_fetches += 1;
+                drop(stats);
+                meters.admitted.inc();
+            }
+            Admission::Admit { waited_ms, .. } => {
+                overload.queued_fetches += 1;
+                overload.queue_wait_ms += waited_ms;
+                drop(stats);
+                meters.queued.inc();
+            }
+            Admission::Shed(ShedCause::QueueFull) => {
+                overload.shed_queue_full += 1;
+                drop(stats);
+                meters.shed_queue_full.inc();
+            }
+            Admission::Shed(ShedCause::DeadlineExceeded) => {
+                overload.shed_deadline += 1;
+                drop(stats);
+                meters.shed_deadline.inc();
+            }
+        }
+        if i64::from(max_depth) > meters.max_queue_depth.get() {
+            meters.max_queue_depth.set(i64::from(max_depth));
+        }
+        verdict
     }
 
     /// Elects a fresh replica set for `cluster`: highest nodal capability
@@ -914,55 +1153,140 @@ impl<'a> AsapSystem<'a> {
         Arc::clone(&set)
     }
 
-    /// Fetches a close cluster set over a possibly-degraded control
-    /// plane, returning the set (if any), the service-ladder rung it was
-    /// obtained at, and the extra messages spent on dropped attempts.
-    ///
-    /// With a usable surrogate the request goes through the
-    /// [`AsapConfig::retry`] schedule against the injected
-    /// [`MessageDrops`]; success is the full protocol. When the surrogate
-    /// is unreachable (or every retry was eaten), the caller walks the
-    /// ladder: a cached set of bounded age serves the stale rung,
-    /// otherwise the caller must fall back to relay probing.
-    fn fetch_close_set_degraded(
+    /// Issues the hedge leg of a close-set fetch to the first usable
+    /// warm standby of `cluster`. Returns the set when the standby
+    /// answers (the hedge "wins"); `None` when no standby is usable or
+    /// the hedge leg is dropped too. The leg's request/reply pair is
+    /// metered in the ledger against the standby under the dedicated
+    /// hedge message kinds, so the cost of hedging is visible.
+    fn hedge_fetch(
         &self,
         cluster: ClusterId,
         requester: HostId,
-    ) -> (Option<Arc<CloseClusterSet>>, DegradationLevel, u64) {
-        let mut extra = 0u64;
-        if self.cluster_control_usable(cluster) {
-            let faults = self.message_faults.lock().clone();
-            let Some(faults) = faults else {
-                return (
-                    Some(self.close_set_of(cluster)),
-                    DegradationLevel::FullAsap,
-                    0,
-                );
-            };
-            let retry = self.config.retry;
-            for attempt in 0..=retry.max_retries {
-                let key = (u64::from(requester.0) << 34)
-                    ^ (u64::from(cluster.0) << 8)
-                    ^ u64::from(attempt);
-                if !faults.drops(key) {
-                    return (
-                        Some(self.close_set_of(cluster)),
-                        DegradationLevel::FullAsap,
-                        extra,
-                    );
-                }
-                extra += 2; // the wasted request/reply pair
-                self.scope.record(MessageKind::CloseSetRequest, 1);
-                self.scope.record(MessageKind::CloseSetReply, 1);
-                let mut stats = self.stats.lock();
-                stats.recovery.timeouts += 1;
-                stats.recovery.retries += 1;
-                stats.recovery.recovery_messages += 2;
-                stats.recovery.stabilization_ticks += retry.backoff_ms(attempt, key);
+        extra: &mut u64,
+    ) -> Option<Arc<CloseClusterSet>> {
+        let standby = self
+            .standbys_of(cluster)
+            .into_iter()
+            .find(|&h| self.host_usable(h))?;
+        self.stats.lock().overload.hedged_fetches += 1;
+        self.overload_meters.hedged.inc();
+        *extra += 2;
+        self.scope
+            .record_for_node(standby.0, MessageKind::HedgeRequest, 1);
+        self.scope
+            .record_for_node(standby.0, MessageKind::HedgeReply, 1);
+        if let Some(faults) = self.message_faults.lock().clone() {
+            // The hedge leg rides its own drop key: its fate is
+            // independent of the primary's attempts.
+            let key = (u64::from(requester.0) << 34)
+                ^ (u64::from(cluster.0) << 8)
+                ^ (u64::from(standby.0) << 13)
+                ^ 0xA5;
+            if faults.drops(key) {
+                return None;
             }
         }
-        // Degraded service: the surrogate is unreachable or every retry
-        // was eaten. A cached set of bounded age still beats probing.
+        self.stats.lock().overload.hedge_wins += 1;
+        self.overload_meters.hedge_wins.inc();
+        Some(self.close_set_of(cluster))
+    }
+
+    /// Fetches a close cluster set over a possibly-degraded,
+    /// possibly-overloaded control plane.
+    ///
+    /// The request first routes to its serving surrogate and passes that
+    /// surrogate's admission control: a fetch exceeding the request-rate
+    /// budget waits in the bounded queue, and one that would overflow
+    /// the queue or miss its deadline is *shed* — it skips the surrogate
+    /// entirely and falls through the same degradation ladder a dead
+    /// surrogate would trigger (bounded-stale cache, then probing), so
+    /// overload degrades calls instead of failing them.
+    ///
+    /// Admitted fetches go through the [`AsapConfig::retry`] schedule
+    /// against the injected [`MessageDrops`]. Whenever the accumulated
+    /// delay (queueing or retry backoff) crosses the configured hedge
+    /// delay, the fetch is *hedged*: the same request is re-issued to a
+    /// warm standby replica and the first answer wins, with both legs
+    /// metered.
+    pub fn fetch_close_set_degraded(&self, cluster: ClusterId, requester: HostId) -> FetchResult {
+        let mut extra = 0u64;
+        let mut shed = false;
+        if self.cluster_control_usable(cluster) {
+            let surrogate = self.route_surrogate(cluster, requester);
+            match self.admit_request(cluster, surrogate) {
+                Admission::Shed(_) => shed = true,
+                Admission::Admit { waited_ms, .. } => {
+                    self.record_surrogate_load(cluster, surrogate);
+                    let capacity = self.config.capacity;
+                    let mut hedged = false;
+                    // Queue-delay hedge: the request is already
+                    // `waited_ms` old before the surrogate even serves
+                    // it.
+                    if capacity.enabled && waited_ms >= capacity.hedge_delay_ms {
+                        hedged = true;
+                        if let Some(set) = self.hedge_fetch(cluster, requester, &mut extra) {
+                            return FetchResult {
+                                set: Some(set),
+                                level: DegradationLevel::FullAsap,
+                                extra_messages: extra,
+                                shed: false,
+                            };
+                        }
+                    }
+                    let faults = self.message_faults.lock().clone();
+                    let Some(faults) = faults else {
+                        return FetchResult {
+                            set: Some(self.close_set_of(cluster)),
+                            level: DegradationLevel::FullAsap,
+                            extra_messages: extra,
+                            shed: false,
+                        };
+                    };
+                    let retry = self.config.retry;
+                    let mut waited_total = waited_ms;
+                    for attempt in 0..=retry.max_retries {
+                        let key = (u64::from(requester.0) << 34)
+                            ^ (u64::from(cluster.0) << 8)
+                            ^ u64::from(attempt);
+                        if !faults.drops(key) {
+                            return FetchResult {
+                                set: Some(self.close_set_of(cluster)),
+                                level: DegradationLevel::FullAsap,
+                                extra_messages: extra,
+                                shed: false,
+                            };
+                        }
+                        extra += 2; // the wasted request/reply pair
+                        self.scope.record(MessageKind::CloseSetRequest, 1);
+                        self.scope.record(MessageKind::CloseSetReply, 1);
+                        let mut stats = self.stats.lock();
+                        stats.recovery.timeouts += 1;
+                        stats.recovery.retries += 1;
+                        stats.recovery.recovery_messages += 2;
+                        stats.recovery.stabilization_ticks += retry.backoff_ms(attempt, key);
+                        drop(stats);
+                        waited_total += retry.backoff_ms(attempt, key);
+                        // Retry-backoff hedge: the cumulative wait just
+                        // crossed the hedge delay.
+                        if capacity.enabled && !hedged && waited_total >= capacity.hedge_delay_ms {
+                            hedged = true;
+                            if let Some(set) = self.hedge_fetch(cluster, requester, &mut extra) {
+                                return FetchResult {
+                                    set: Some(set),
+                                    level: DegradationLevel::FullAsap,
+                                    extra_messages: extra,
+                                    shed: false,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Degraded service: shed by admission control, surrogate
+        // unreachable, or every retry eaten. A cached set of bounded age
+        // still beats probing.
         let now = self.now_ms();
         let cached = {
             let cache = self.close_sets.lock();
@@ -974,9 +1298,19 @@ impl<'a> AsapSystem<'a> {
         match cached {
             Some(set) => {
                 self.stats.lock().recovery.stale_sets_served += 1;
-                (Some(set), DegradationLevel::StaleCloseSet, extra)
+                FetchResult {
+                    set: Some(set),
+                    level: DegradationLevel::StaleCloseSet,
+                    extra_messages: extra,
+                    shed,
+                }
             }
-            None => (None, DegradationLevel::RandomProbe, extra),
+            None => FetchResult {
+                set: None,
+                level: DegradationLevel::RandomProbe,
+                extra_messages: extra,
+                shed,
+            },
         }
     }
 
@@ -1060,6 +1394,7 @@ impl<'a> AsapSystem<'a> {
                 chosen: None,
                 messages,
                 degradation: DegradationLevel::FullAsap,
+                shed_by_overload: false,
             };
         }
 
@@ -1081,6 +1416,7 @@ impl<'a> AsapSystem<'a> {
                     }),
                     messages,
                     degradation: DegradationLevel::FullAsap,
+                    shed_by_overload: false,
                 };
             }
         }
@@ -1113,17 +1449,19 @@ impl<'a> AsapSystem<'a> {
                 }),
                 messages,
                 degradation: DegradationLevel::DirectOnly,
+                shed_by_overload: false,
             };
         }
 
-        let (caller_set, rung1, extra1) = self.fetch_close_set_degraded(caller_cluster, caller);
-        let (callee_set, rung2, extra2) = self.fetch_close_set_degraded(callee_cluster, caller);
-        messages += extra1 + extra2;
-        let mut level = rung1.max(rung2);
+        let fetch1 = self.fetch_close_set_degraded(caller_cluster, caller);
+        let fetch2 = self.fetch_close_set_degraded(callee_cluster, caller);
+        messages += fetch1.extra_messages + fetch2.extra_messages;
+        let shed_by_overload = fetch1.shed || fetch2.shed;
+        let mut level = fetch1.level.max(fetch2.level);
         let mut selection = None;
         let chosen;
 
-        if let (Some(caller_set), Some(callee_set)) = (caller_set, callee_set) {
+        if let (Some(caller_set), Some(callee_set)) = (fetch1.set, fetch2.set) {
             let clustering = self.scenario.population.clustering();
             let cluster_size = |c: ClusterId| clustering.cluster(c).len() as u64;
             let mut fetch = |c: ClusterId| (*self.close_set_of(c)).clone();
@@ -1182,20 +1520,116 @@ impl<'a> AsapSystem<'a> {
             chosen,
             messages,
             degradation: level,
+            shed_by_overload,
         }
     }
 
+    /// The capacity verdict on routing one more call through `host`:
+    /// [`SlotVerdict::Busy`] when every relay-call slot is occupied (the
+    /// typed "try the next candidate" answer), [`SlotVerdict::Granted`]
+    /// otherwise or when the capacity model is disabled.
+    pub fn relay_admission(&self, host: HostId) -> SlotVerdict {
+        match &self.relay_slots {
+            Some(slots) if slots.lock().busy(host.0 as usize) => SlotVerdict::Busy,
+            _ => SlotVerdict::Granted,
+        }
+    }
+
+    /// Whether `host` currently answers [`SlotVerdict::Busy`].
+    pub fn relay_busy(&self, host: HostId) -> bool {
+        self.relay_admission(host) == SlotVerdict::Busy
+    }
+
+    /// Occupies one relay-call slot on every host of `relays` (the
+    /// event runtime calls this when a call starts using a path).
+    /// Returns the hosts now *over* their slot limit — saturated relays
+    /// the runtime must treat like crashed ones and fail away from.
+    pub fn acquire_relays(&self, relays: &[HostId]) -> Vec<HostId> {
+        let Some(slots) = &self.relay_slots else {
+            return Vec::new();
+        };
+        let over: Vec<HostId> = {
+            let mut slots = slots.lock();
+            relays
+                .iter()
+                .copied()
+                .filter(|&r| slots.force_acquire(r.0 as usize))
+                .collect()
+        };
+        if !over.is_empty() {
+            self.stats.lock().overload.saturated_acquires += over.len() as u64;
+            self.overload_meters.saturated.add(over.len() as u64);
+        }
+        over
+    }
+
+    /// Releases the relay-call slots [`AsapSystem::acquire_relays`]
+    /// took (call teardown, or failover away from the path).
+    pub fn release_relays(&self, relays: &[HostId]) {
+        if let Some(slots) = &self.relay_slots {
+            let mut slots = slots.lock();
+            for &r in relays {
+                slots.release(r.0 as usize);
+            }
+        }
+    }
+
+    /// The relay-slot occupancy high-water mark across all hosts (0
+    /// when the capacity model is disabled).
+    pub fn max_relay_slots_in_use(&self) -> u32 {
+        self.relay_slots
+            .as_ref()
+            .map_or(0, |s| s.lock().max_in_use())
+    }
+
     /// Evaluates the top candidates of a selection against the true
-    /// network and returns the best concrete path. Relays that are
-    /// unusable — offline, behind a partition (the setup ping would time
-    /// out), suspected dead, or explicitly listed in `dead` — are
-    /// skipped.
+    /// network and returns the best concrete path, load-aware: a relay
+    /// whose call slots are full answers [`SlotVerdict::Busy`] and the
+    /// caller spills over to the next candidate. Only when *every*
+    /// candidate is busy does a second, load-blind pass run — the
+    /// least-bad saturated relay still beats failing the call, and the
+    /// over-limit acquire that follows makes the runtime fail away from
+    /// it like it would from a crash.
     fn pick_best(
         &self,
         caller: HostId,
         callee: HostId,
         selection: &CloseRelaySelection,
         dead: &[HostId],
+    ) -> Option<ChosenPath> {
+        let mut busy_skips = 0u64;
+        let best = self.pick_best_filtered(caller, callee, selection, dead, true, &mut busy_skips);
+        if busy_skips == 0 {
+            return best;
+        }
+        {
+            let mut stats = self.stats.lock();
+            stats.overload.relay_busy_skips += busy_skips;
+            if best.is_some() {
+                stats.overload.relay_spillovers += 1;
+            }
+        }
+        self.overload_meters.busy_skips.add(busy_skips);
+        if best.is_some() {
+            self.overload_meters.spillovers.inc();
+            return best;
+        }
+        self.pick_best_filtered(caller, callee, selection, dead, false, &mut 0)
+    }
+
+    /// One candidate-evaluation pass. Relays that are unusable —
+    /// offline, behind a partition (the setup ping would time out),
+    /// suspected dead, or explicitly listed in `dead` — are skipped;
+    /// with `skip_busy`, slot-saturated relays are skipped too and
+    /// counted into `busy_skips`.
+    fn pick_best_filtered(
+        &self,
+        caller: HostId,
+        callee: HostId,
+        selection: &CloseRelaySelection,
+        dead: &[HostId],
+        skip_busy: bool,
+        busy_skips: &mut u64,
     ) -> Option<ChosenPath> {
         // All one-hop candidates are evaluated (their RTT estimates are
         // already on hand from the close sets, per the paper's
@@ -1227,6 +1661,10 @@ impl<'a> AsapSystem<'a> {
             {
                 continue;
             }
+            if skip_busy && self.relay_busy(relay) {
+                *busy_skips += 1;
+                continue;
+            }
             let path = self
                 .scenario
                 .one_hop_rtt_ms(caller, relay, callee)
@@ -1250,6 +1688,10 @@ impl<'a> AsapSystem<'a> {
                 || !self.host_usable(r1)
                 || !self.host_usable(r2)
             {
+                continue;
+            }
+            if skip_busy && (self.relay_busy(r1) || self.relay_busy(r2)) {
+                *busy_skips += 1;
                 continue;
             }
             let path = self
@@ -1542,24 +1984,28 @@ mod tests {
         let _ = system.close_set_of(cluster);
         system.partition_as(asn);
         assert!(!system.cluster_control_usable(cluster));
-        let (set, level, _) = system.fetch_close_set_degraded(cluster, member);
-        assert_eq!(level, DegradationLevel::StaleCloseSet);
-        assert!(set.is_some(), "bounded-age cache must serve the stale rung");
+        let fetch = system.fetch_close_set_degraded(cluster, member);
+        assert_eq!(fetch.level, DegradationLevel::StaleCloseSet);
+        assert!(
+            fetch.set.is_some(),
+            "bounded-age cache must serve the stale rung"
+        );
+        assert!(!fetch.shed, "a partition is not an overload shed");
         assert_eq!(system.stats().recovery.stale_sets_served, 1);
         // Once the cached copy ages out, only probing is left.
         system.advance_to(config.membership.stale_set_max_age_ms + 1);
-        let (set, level, _) = system.fetch_close_set_degraded(cluster, member);
-        assert_eq!(level, DegradationLevel::RandomProbe);
-        assert!(set.is_none());
+        let fetch = system.fetch_close_set_degraded(cluster, member);
+        assert_eq!(fetch.level, DegradationLevel::RandomProbe);
+        assert!(fetch.set.is_none());
         // Healing reopens the paths, and the next membership sweep
         // delivers heartbeats again, clearing the Dead verdicts the
         // silent 120 s earned every watched node.
         system.heal_as(asn);
         system.membership_tick(config.membership.stale_set_max_age_ms + 2);
         assert!(system.cluster_control_usable(cluster));
-        let (set, level, _) = system.fetch_close_set_degraded(cluster, member);
-        assert_eq!(level, DegradationLevel::FullAsap);
-        assert!(set.is_some());
+        let fetch = system.fetch_close_set_degraded(cluster, member);
+        assert_eq!(fetch.level, DegradationLevel::FullAsap);
+        assert!(fetch.set.is_some());
     }
 
     #[test]
@@ -1810,6 +2256,168 @@ mod tests {
         // Rebuild sees the new epoch and is consistent again.
         let _ = system.close_set_of(c);
         assert!(system.cache_epoch_consistent());
+    }
+
+    #[test]
+    fn burst_fetches_queue_then_shed_into_the_ladder() {
+        let s = scenario();
+        // A tight budget: 2 requests/s, 4-deep queue, short deadline.
+        let mut config = AsapConfig::default();
+        config.capacity.surrogate_budget = 2;
+        config.capacity.budget_window_ms = 1000;
+        config.capacity.queue_limit = 4;
+        config.capacity.queue_deadline_ms = 1500;
+        config.capacity.hedge_delay_ms = 10_000; // keep hedging out of this test
+        let system = AsapSystem::bootstrap(&s, config);
+        let cluster = s.population.clustering().clusters()[0].id();
+        let member = s.population.cluster_members(cluster)[0];
+        // Warm the cache so shed fetches land on the stale rung.
+        let _ = system.close_set_of(cluster);
+        let mut shed = 0;
+        for _ in 0..16 {
+            let fetch = system.fetch_close_set_degraded(cluster, member);
+            if fetch.shed {
+                shed += 1;
+                assert_eq!(
+                    fetch.level,
+                    DegradationLevel::StaleCloseSet,
+                    "a shed fetch with a warm cache serves the stale rung"
+                );
+                assert!(fetch.set.is_some(), "shedding must not lose the call");
+            }
+        }
+        let overload = system.stats().overload;
+        assert!(shed > 0, "16 instant fetches must overwhelm a 2/s budget");
+        assert!(
+            overload.accounted(),
+            "admission lost a request: {overload:?}"
+        );
+        assert_eq!(overload.offered_fetches, 16);
+        assert!(u64::from(system.config().capacity.queue_limit) >= overload.max_queue_depth);
+        // Load subsides: the same fetch a window later is full service.
+        // (A membership sweep keeps the heartbeats flowing across the
+        // time jump so liveness does not confound the admission check.)
+        system.membership_tick(60_000);
+        let fetch = system.fetch_close_set_degraded(cluster, member);
+        assert_eq!(fetch.level, DegradationLevel::FullAsap);
+        assert!(!fetch.shed);
+    }
+
+    #[test]
+    fn surrogate_load_only_counts_served_requests() {
+        let s = scenario();
+        let mut config = AsapConfig::default();
+        config.capacity.surrogate_budget = 1;
+        config.capacity.budget_window_ms = 1000;
+        config.capacity.queue_limit = 2;
+        config.capacity.queue_deadline_ms = 1000;
+        config.capacity.hedge_delay_ms = 10_000;
+        let system = AsapSystem::bootstrap(&s, config);
+        let cluster = s.population.clustering().clusters()[0].id();
+        let member = s.population.cluster_members(cluster)[0];
+        for _ in 0..20 {
+            let _ = system.fetch_close_set_degraded(cluster, member);
+        }
+        let overload = system.stats().overload;
+        assert!(overload.shed_fetches() > 0);
+        // Served requests — and therefore the hot-surrogate load — are
+        // bounded by what admission let through, not by what was offered.
+        assert_eq!(
+            overload.surrogate_requests,
+            overload.admitted_fetches + overload.queued_fetches
+        );
+        assert!(system.hot_surrogate_load() <= overload.surrogate_requests);
+        assert_eq!(overload.hot_surrogate_load, system.hot_surrogate_load());
+    }
+
+    #[test]
+    fn queue_delay_past_hedge_threshold_fans_out_to_a_standby() {
+        let s = scenario();
+        // Budget 1/s with a deep queue and a hedge delay of one slot:
+        // the second instant fetch waits ≥ 1000 ms and must hedge.
+        let mut config = AsapConfig::default();
+        config.capacity.surrogate_budget = 1;
+        config.capacity.budget_window_ms = 1000;
+        config.capacity.queue_limit = 32;
+        config.capacity.queue_deadline_ms = 60_000;
+        config.capacity.hedge_delay_ms = 1000;
+        let system = AsapSystem::bootstrap(&s, config);
+        let Some(cluster) = cluster_with(&s, 3) else {
+            return; // need a standby to hedge to
+        };
+        let member = s.population.cluster_members(cluster)[0];
+        let first = system.fetch_close_set_degraded(cluster, member);
+        assert_eq!(first.level, DegradationLevel::FullAsap);
+        let second = system.fetch_close_set_degraded(cluster, member);
+        assert_eq!(second.level, DegradationLevel::FullAsap);
+        assert!(second.set.is_some());
+        let overload = system.stats().overload;
+        assert_eq!(overload.hedged_fetches, 1, "the queued fetch must hedge");
+        assert_eq!(overload.hedge_wins, 1, "no faults: the hedge answer wins");
+        assert_eq!(
+            second.extra_messages, 2,
+            "the hedge leg is exactly one request/reply pair"
+        );
+        // Both legs are in the ledger under the hedge kinds, attributed
+        // to the standby that served them.
+        let scope = system.ledger_scope();
+        assert_eq!(scope.count(MessageKind::HedgeRequest), 1);
+        assert_eq!(scope.count(MessageKind::HedgeReply), 1);
+        // A completed hedged fetch is served exactly once: one win, and
+        // the primary leg's close set was never rebuilt a second time.
+        assert!(overload.hedge_wins <= overload.hedged_fetches);
+    }
+
+    #[test]
+    fn busy_relays_are_skipped_until_all_are_saturated() {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let slow = sessions::generate(&s.population, 3000, 2)
+            .into_iter()
+            .find(|x| s.host_rtt_ms(x.caller, x.callee).is_some_and(|r| r > 300.0));
+        let Some(slow) = slow else {
+            return; // tiny worlds occasionally have no latent session
+        };
+        let out = system.call(slow.caller, slow.callee);
+        let (Some(selection), Some(chosen)) = (out.selection, out.chosen) else {
+            return;
+        };
+        if chosen.relays.is_empty() {
+            return;
+        }
+        // Saturate the winning relay's slots; the re-pick must spill
+        // over to a different relay (or go direct via failover), never
+        // re-choose the busy one while alternatives exist.
+        let winner = chosen.relays[0];
+        let limit = {
+            let occupy: Vec<HostId> = vec![winner];
+            let mut acquired = 0u32;
+            while system.acquire_relays(&occupy).is_empty() {
+                acquired += 1;
+                assert!(acquired < 10_000, "relay slot limit must be finite");
+            }
+            acquired
+        };
+        assert!(limit >= 1, "every host has at least the base slot count");
+        assert!(system.relay_busy(winner));
+        assert_eq!(system.relay_admission(winner), SlotVerdict::Busy);
+        let repick = system.failover_path(slow.caller, slow.callee, &selection, &[]);
+        let overload = system.stats().overload;
+        assert!(
+            overload.relay_busy_skips >= 1,
+            "the busy winner was skipped"
+        );
+        if let Some(path) = repick {
+            assert!(
+                !path.relays.contains(&winner) || overload.relay_spillovers == 0,
+                "spillover re-picked the saturated relay while counting a spillover"
+            );
+        }
+        // Releasing the slots clears the verdict.
+        for _ in 0..=limit {
+            system.release_relays(&[winner]);
+        }
+        assert!(!system.relay_busy(winner));
     }
 
     #[test]

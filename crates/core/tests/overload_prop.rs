@@ -1,0 +1,163 @@
+//! Property-based tests of the overload/admission invariants.
+//!
+//! Whatever capacity configuration and fetch schedule hits the system:
+//!
+//! 1. admission control never loses a request — every offered fetch is
+//!    admitted, queued, or shed (`offered == admitted + queued + shed`),
+//!    and the observed queue depth never exceeds the configured bound;
+//! 2. hedging never double-counts — a hedge leg can win at most once
+//!    per issued hedge, and every fetch produces exactly one outcome
+//!    regardless of how many legs raced for it;
+//! 3. degradation caused purely by shedding always recovers — once the
+//!    burst subsides, the same cluster serves `FullAsap` again (load is
+//!    an episode, never a terminal state).
+
+use std::sync::OnceLock;
+
+use asap_core::{AsapConfig, AsapSystem, DegradationLevel};
+use asap_workload::{Scenario, ScenarioConfig};
+use proptest::prelude::*;
+
+fn scenario() -> &'static Scenario {
+    static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| Scenario::build(ScenarioConfig::tiny(), 31))
+}
+
+/// A capacity squeeze drawn from the whole sensible knob space.
+fn arb_config() -> impl Strategy<Value = AsapConfig> {
+    (
+        1u32..6,       // surrogate_budget
+        200u64..3_000, // budget_window_ms
+        1u32..8,       // queue_limit
+        100u64..2_500, // queue_deadline_ms
+        50u64..20_000, // hedge_delay_ms
+    )
+        .prop_map(|(budget, window, queue, deadline, hedge)| {
+            let mut config = AsapConfig::default();
+            config.capacity.surrogate_budget = budget;
+            config.capacity.budget_window_ms = window;
+            config.capacity.queue_limit = queue;
+            config.capacity.queue_deadline_ms = deadline;
+            config.capacity.hedge_delay_ms = hedge;
+            config
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn admission_never_loses_a_request(
+        config in arb_config(),
+        fetches in proptest::collection::vec((0u32..8, 0u32..64), 1..60),
+        advances in proptest::collection::vec(0u64..500, 0..8),
+    ) {
+        let s = scenario();
+        let queue_limit = u64::from(config.capacity.queue_limit);
+        let system = AsapSystem::bootstrap(s, config);
+        let clusters = s.population.clustering().clusters();
+        let mut advances = advances.into_iter();
+        for (ci, mi) in fetches {
+            let cluster = clusters[ci as usize % clusters.len()].id();
+            let members = s.population.cluster_members(cluster);
+            let member = members[mi as usize % members.len()];
+            let fetch = system.fetch_close_set_degraded(cluster, member);
+            // A shed fetch still lands somewhere on the ladder — the
+            // call is degraded, not lost.
+            if fetch.shed {
+                prop_assert_ne!(fetch.level, DegradationLevel::FullAsap);
+            }
+            if let Some(step) = advances.next() {
+                system.advance_to(system.now_ms() + step);
+            }
+        }
+        let overload = system.stats().overload;
+        prop_assert!(
+            overload.accounted(),
+            "admission lost a request: {:?}",
+            overload
+        );
+        prop_assert!(
+            overload.max_queue_depth <= queue_limit,
+            "queue depth {} exceeded bound {}",
+            overload.max_queue_depth,
+            queue_limit
+        );
+        // Only fetches that actually reached a surrogate count as served.
+        prop_assert!(
+            overload.surrogate_requests <= overload.admitted_fetches + overload.queued_fetches
+        );
+    }
+
+    #[test]
+    fn hedging_never_double_counts(
+        config in arb_config(),
+        fetches in proptest::collection::vec((0u32..8, 0u32..64), 1..60),
+    ) {
+        let s = scenario();
+        let system = AsapSystem::bootstrap(s, config);
+        let clusters = s.population.clustering().clusters();
+        let mut outcomes = 0u64;
+        for (ci, mi) in fetches.iter() {
+            let cluster = clusters[*ci as usize % clusters.len()].id();
+            let members = s.population.cluster_members(cluster);
+            let member = members[*mi as usize % members.len()];
+            let fetch = system.fetch_close_set_degraded(cluster, member);
+            // Exactly one outcome per fetch, no matter how many legs
+            // raced: either a set was served or the ladder bottomed out
+            // at the probe rung with nothing cached.
+            outcomes += 1;
+            prop_assert!(
+                fetch.set.is_some() || fetch.level != DegradationLevel::FullAsap,
+                "a full-service fetch must carry a set"
+            );
+        }
+        let overload = system.stats().overload;
+        prop_assert_eq!(outcomes, fetches.len() as u64);
+        prop_assert!(
+            overload.hedge_wins <= overload.hedged_fetches,
+            "more hedge wins ({}) than hedges issued ({})",
+            overload.hedge_wins,
+            overload.hedged_fetches
+        );
+        // A hedge win serves the fetch — it can never add a second
+        // completion on top of an admitted one.
+        prop_assert!(
+            overload.hedge_wins + overload.admitted_fetches + overload.queued_fetches
+                <= overload.offered_fetches + overload.hedged_fetches
+        );
+    }
+
+    #[test]
+    fn shedding_degradation_always_recovers(
+        burst in 8u32..40,
+        quiet_ms in 10_000u64..120_000,
+    ) {
+        let s = scenario();
+        // A squeeze tight enough that any burst sheds.
+        let mut config = AsapConfig::default();
+        config.capacity.surrogate_budget = 1;
+        config.capacity.budget_window_ms = 1_000;
+        config.capacity.queue_limit = 2;
+        config.capacity.queue_deadline_ms = 800;
+        config.capacity.hedge_delay_ms = 30_000; // isolate shedding
+        let system = AsapSystem::bootstrap(s, config);
+        let cluster = s.population.clustering().clusters()[0].id();
+        let member = s.population.cluster_members(cluster)[0];
+        // Warm the cache so shed fetches serve the stale rung.
+        let _ = system.close_set_of(cluster);
+        let mut shed = 0u32;
+        for _ in 0..burst {
+            if system.fetch_close_set_degraded(cluster, member).shed {
+                shed += 1;
+            }
+        }
+        prop_assert!(shed > 0, "an instant burst of {} must shed on a 1/s budget", burst);
+        // Load subsides: a membership sweep keeps heartbeats flowing
+        // across the jump, then the same fetch is full service again.
+        system.membership_tick(system.now_ms() + quiet_ms);
+        let fetch = system.fetch_close_set_degraded(cluster, member);
+        prop_assert!(!fetch.shed, "quiet period must clear the admission queue");
+        prop_assert_eq!(fetch.level, DegradationLevel::FullAsap);
+    }
+}

@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod events;
 pub mod faults;
 pub mod king;
 pub mod membership;
 mod model;
 
+pub use capacity::{Admission, AdmissionQueue, CapacityConfig, RelaySlots, ShedCause, SlotVerdict};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig, MessageDrops, RetryPolicy};
 pub use membership::{MembershipView, SuspicionConfig, SuspicionDetector, Verdict};
 pub use model::{AsCondition, NetConfig, NetModel};

@@ -48,10 +48,15 @@ pub enum MessageKind {
     Election,
     /// Call-setup pings (direct-route ping and failover re-pings).
     CallSetup,
+    /// Hedged close-set fetch request to a standby replica (issued when
+    /// the primary leg exceeds the hedge delay).
+    HedgeRequest,
+    /// Hedged close-set fetch reply from a standby replica.
+    HedgeReply,
 }
 
 /// All kinds, in declaration order (the order scope snapshots use).
-pub const MESSAGE_KINDS: [MessageKind; 11] = [
+pub const MESSAGE_KINDS: [MessageKind; 13] = [
     MessageKind::JoinRequest,
     MessageKind::JoinReply,
     MessageKind::CloseSetRequest,
@@ -63,6 +68,8 @@ pub const MESSAGE_KINDS: [MessageKind; 11] = [
     MessageKind::Handoff,
     MessageKind::Election,
     MessageKind::CallSetup,
+    MessageKind::HedgeRequest,
+    MessageKind::HedgeReply,
 ];
 
 impl MessageKind {
@@ -80,6 +87,8 @@ impl MessageKind {
             MessageKind::Handoff => "handoff",
             MessageKind::Election => "election",
             MessageKind::CallSetup => "call_setup",
+            MessageKind::HedgeRequest => "hedge_request",
+            MessageKind::HedgeReply => "hedge_reply",
         }
     }
 }

@@ -34,7 +34,21 @@ pub struct CandidatePath {
     /// crashed): every packet sent at or after it is lost until a policy
     /// moves the call elsewhere.
     pub outage_at_ms: Option<u64>,
+    /// If set, the path's relay saturates (all call slots taken) at this
+    /// call time: the path keeps forwarding but sheds most packets and
+    /// queues the rest, so the switching monitor evacuates it like it
+    /// would a crashed one — relay saturation is failed away from, not
+    /// waited out.
+    pub saturated_at_ms: Option<u64>,
 }
+
+/// Fraction of packets a saturated relay sheds from each flow it still
+/// carries (the rest crawl through behind its full queues).
+const SATURATION_SHED: f64 = 0.75;
+
+/// Queueing delay a saturated relay adds to the packets it does forward,
+/// one-way ms.
+const SATURATION_QUEUE_MS: f64 = 120.0;
 
 impl CandidatePath {
     /// A path with no scheduled outage.
@@ -50,6 +64,7 @@ impl CandidatePath {
             base_loss,
             dynamics,
             outage_at_ms: None,
+            saturated_at_ms: None,
         }
     }
 
@@ -57,6 +72,16 @@ impl CandidatePath {
     pub fn fate(&self, seq: u64, send_ms: u64, config: &StreamConfig) -> PacketFate {
         if self.outage_at_ms.is_some_and(|t| send_ms >= t) {
             return PacketFate::Lost;
+        }
+        if self.saturated_at_ms.is_some_and(|t| send_ms >= t) {
+            return packet_fate(
+                seq,
+                send_ms,
+                self.base_one_way_ms + SATURATION_QUEUE_MS,
+                self.base_loss.max(SATURATION_SHED),
+                &self.dynamics,
+                config,
+            );
         }
         packet_fate(
             seq,
@@ -259,6 +284,52 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn switcher_evacuates_saturated_path() {
+        use crate::dynamics::{DynamicsConfig, PathDynamics};
+        use crate::stream::StreamConfig;
+        // A clean path that saturates 10 s into the call: its loss jumps
+        // to the shed fraction and the monitor must move the call off it
+        // just as it would for a crash.
+        let quiet = PathDynamics::sample(
+            &[],
+            60_000,
+            &DynamicsConfig {
+                episodes_per_minute: 0.0,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let mut path = CandidatePath::new("one_hop".into(), 40.0, 0.005, quiet);
+        path.saturated_at_ms = Some(10_000);
+        let config = StreamConfig::default();
+        let mut sw = Switcher::new(0, SwitchingConfig::default());
+        for seq in 0..1_000u64 {
+            let send_ms = seq * 20;
+            // The sender transmits on whatever path is active: the
+            // saturated candidate while on 0, a clean standby once moved.
+            let fate = if sw.active() == 0 {
+                path.fate(seq, send_ms, &config)
+            } else {
+                PacketFate::Delivered(45.0)
+            };
+            sw.observe(send_ms, fate, 2, |_, _| 0.005);
+        }
+        assert_eq!(sw.active(), 1, "monitor must abandon the saturated path");
+        assert_eq!(sw.switches().len(), 1, "and settle on the standby");
+        let switch = &sw.switches()[0];
+        assert!(
+            switch.at_ms >= 10_000,
+            "no reason to leave before saturation, switched at {}",
+            switch.at_ms
+        );
+        // Before saturation the path behaves exactly as configured.
+        assert!(matches!(
+            path.fate(1, 9_000, &config),
+            PacketFate::Delivered(_) | PacketFate::Late(_) | PacketFate::Lost
+        ));
     }
 
     #[test]
