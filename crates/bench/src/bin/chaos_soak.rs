@@ -24,7 +24,7 @@
 //! exits nonzero if any invariant is violated in either phase. Two runs
 //! with the same `--seed` produce byte-identical JSON.
 
-use asap_bench::experiments::{chaos_overload_phase, chaos_soak_with, json_lines};
+use asap_bench::experiments::{chaos_overload_phase_sharded, chaos_soak_sharded, json_lines};
 use asap_bench::{row, section, Args, Scale};
 use asap_telemetry::Telemetry;
 
@@ -32,8 +32,21 @@ fn main() {
     let args = Args::parse(Scale::Tiny);
     let scenario = args.scenario();
     let telemetry = Telemetry::new();
-    let report = chaos_soak_with(&scenario, args.seed, args.sessions, &telemetry);
-    let overload = chaos_overload_phase(&scenario, args.seed, args.sessions, &telemetry);
+    // `--shards 1` (the default) is the legacy single-shard schedule;
+    // larger counts run shards on the pool and merge deterministically.
+    let pool = args.thread_pool();
+    let (report, overload) = pool.install(|| {
+        let report =
+            chaos_soak_sharded(&scenario, args.seed, args.sessions, args.shards, &telemetry);
+        let overload = chaos_overload_phase_sharded(
+            &scenario,
+            args.seed,
+            args.sessions,
+            args.shards,
+            &telemetry,
+        );
+        (report, overload)
+    });
 
     section("chaos soak: churn + partition schedule");
     row(&[&"metric", &"value"]);

@@ -14,6 +14,7 @@ use asap_telemetry::Telemetry;
 use asap_voip::QualityRequirement;
 use asap_workload::sessions;
 use asap_workload::{PopulationConfig, Scenario, ScenarioConfig};
+use rayon::prelude::*;
 
 /// Quality-path percentiles for all four methods at one population size.
 ///
@@ -50,21 +51,27 @@ fn run_at(
     );
     let asap = AsapSelector::new(system);
 
-    let methods: Vec<(&str, &dyn RelaySelector)> = vec![
+    // The four methods are independent given the shared scenario, so
+    // they run concurrently on the rayon pool. par_iter preserves input
+    // order, so the output (and every downstream table) is identical to
+    // the sequential loop at any thread count.
+    let methods: Vec<(&str, &(dyn RelaySelector + Sync))> = vec![
         ("DEDI", &dedi),
         ("RAND", &rand),
         ("MIX", &mix),
         ("ASAP", &asap),
     ];
-    let mut out = Vec::new();
-    for (name, m) in methods {
-        let mut quality = Vec::new();
-        for s in latent.iter().take(take) {
-            quality.push(m.select(scenario, s.session, &req).quality_paths as f64);
-        }
-        out.push((name.to_string(), quality));
-    }
-    out
+    methods
+        .into_par_iter()
+        .map(|(name, m)| {
+            let quality: Vec<f64> = latent
+                .iter()
+                .take(take)
+                .map(|s| m.select(scenario, s.session, &req).quality_paths as f64)
+                .collect();
+            (name.to_string(), quality)
+        })
+        .collect()
 }
 
 fn main() {

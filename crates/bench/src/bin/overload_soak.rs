@@ -26,7 +26,7 @@
 //! guard. Two runs with the same `--seed` produce byte-identical JSON
 //! and `--metrics-out` snapshots.
 
-use asap_bench::experiments::{json_lines, overload_soak_with, OverloadSoakReport};
+use asap_bench::experiments::{json_lines, overload_soak_sharded, OverloadSoakReport};
 use asap_bench::{row, section, Args, Scale};
 use asap_telemetry::Telemetry;
 
@@ -68,8 +68,27 @@ fn main() {
     let args = Args::parse(Scale::Tiny);
     let scenario = args.scenario();
     let telemetry = Telemetry::new();
-    let bounded = overload_soak_with(&scenario, args.seed, args.sessions, true, &telemetry);
-    let unbounded = overload_soak_with(&scenario, args.seed, args.sessions, false, &telemetry);
+    // `--shards 1` (the default) is the legacy single-shard schedule.
+    let pool = args.thread_pool();
+    let (bounded, unbounded) = pool.install(|| {
+        let bounded = overload_soak_sharded(
+            &scenario,
+            args.seed,
+            args.sessions,
+            true,
+            args.shards,
+            &telemetry,
+        );
+        let unbounded = overload_soak_sharded(
+            &scenario,
+            args.seed,
+            args.sessions,
+            false,
+            args.shards,
+            &telemetry,
+        );
+        (bounded, unbounded)
+    });
 
     print_side(&bounded);
     print_side(&unbounded);

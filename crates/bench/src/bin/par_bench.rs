@@ -1,0 +1,216 @@
+//! Parallel session-engine benchmark and determinism gate.
+//!
+//! Two modes:
+//!
+//! - **default** — times the sharded chaos-soak workload (`--shards`,
+//!   default 8) on rayon pools of 1, 2, 4, and 8 threads and writes the
+//!   speedup baseline to `--out` (default `BENCH_parallel.json`) as
+//!   newline-delimited JSON rows
+//!   `{"experiment":"par_bench","threads":N,"elapsed_ms":…,"sessions_per_sec":…}`.
+//!   Wall-clock speedup obviously requires the cores to exist: on a
+//!   single-core host every pool width measures the same machine and
+//!   the rows document that honestly.
+//! - **`--smoke`** — the CI determinism gate: runs the same 4-shard
+//!   workload on a 1-thread and a 4-thread pool and requires the merged
+//!   [`Telemetry::snapshot_json`] bytes and soak JSON rows to be
+//!   identical, and the close-set/route caches to actually register
+//!   hits. Exits nonzero on any mismatch.
+//!
+//! Every simulated run is deterministic per `(seed, shards)`; only the
+//! wall-clock numbers vary between invocations.
+
+use std::time::Instant;
+
+use asap_bench::experiments::{chaos_soak_sharded, json_lines};
+use asap_bench::{row, section, Scale};
+use asap_telemetry::Telemetry;
+use asap_workload::Scenario;
+use serde::Serialize;
+
+/// One timed pool width.
+#[derive(Debug, Clone, Serialize)]
+struct ParBenchRow {
+    /// Constant `"par_bench"`.
+    experiment: String,
+    /// Master seed of the timed run.
+    seed: u64,
+    /// Shards the workload was split into.
+    shards: usize,
+    /// Rayon pool width.
+    threads: usize,
+    /// Wall-clock time of the sharded soak, ms.
+    elapsed_ms: u64,
+    /// Sessions simulated per wall-clock second.
+    sessions_per_sec: f64,
+}
+
+struct ParArgs {
+    smoke: bool,
+    sessions: usize,
+    seed: u64,
+    shards: usize,
+    out: String,
+}
+
+/// Hand-rolled parsing: `par_bench` has mode flags the shared
+/// [`asap_bench::Args`] parser would reject.
+fn parse_args() -> ParArgs {
+    let mut args = ParArgs {
+        smoke: false,
+        sessions: 2_000,
+        seed: 1,
+        shards: 8,
+        out: "BENCH_parallel.json".to_owned(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need_value = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value after {}", argv[i]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--smoke" => {
+                args.smoke = true;
+                i += 1;
+            }
+            "--sessions" => {
+                args.sessions = need_value(i).parse().expect("--sessions takes a number");
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = need_value(i).parse().expect("--seed takes a number");
+                i += 2;
+            }
+            "--shards" => {
+                args.shards = need_value(i).parse().expect("--shards takes a number");
+                assert!(args.shards >= 1, "--shards must be at least 1");
+                i += 2;
+            }
+            "--out" => {
+                args.out = need_value(i);
+                i += 2;
+            }
+            other => {
+                panic!("unknown argument {other:?} (--smoke|--sessions|--seed|--shards|--out)")
+            }
+        }
+    }
+    args
+}
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("rayon pool builds")
+}
+
+/// Runs the sharded soak on a pool of the given width and returns the
+/// soak JSON rows plus the merged telemetry snapshot.
+fn soak_at(scenario: &Scenario, args: &ParArgs, shards: usize, threads: usize) -> (String, String) {
+    let telemetry = Telemetry::new();
+    let report = pool(threads)
+        .install(|| chaos_soak_sharded(scenario, args.seed, args.sessions, shards, &telemetry));
+    (json_lines(&[report]), telemetry.snapshot_json())
+}
+
+fn smoke(scenario: &Scenario, args: &ParArgs) {
+    let shards = 4;
+    section("par_bench --smoke: 1-thread vs 4-thread determinism gate");
+    let (rows1, snap1) = soak_at(scenario, args, shards, 1);
+    let (rows4, snap4) = soak_at(scenario, args, shards, 4);
+
+    let mut failures = Vec::new();
+    if rows1 != rows4 {
+        failures.push("soak JSON rows differ between 1 and 4 threads".to_owned());
+    }
+    if snap1 != snap4 {
+        failures.push("telemetry snapshots differ between 1 and 4 threads".to_owned());
+    }
+
+    // The caches must actually be in the hot path, not just present.
+    let telemetry = Telemetry::new();
+    pool(1).install(|| chaos_soak_sharded(scenario, args.seed, args.sessions, shards, &telemetry));
+    let close_set_hits = telemetry
+        .registry()
+        .counter("ASAP.cache.close_set.hits")
+        .get();
+    if close_set_hits == 0 {
+        failures.push("close-set cache registered no hits".to_owned());
+    }
+    let (route_hits, route_misses) = scenario.net.route_cache_stats();
+    if route_hits == 0 {
+        failures.push("valley-free route cache registered no hits".to_owned());
+    }
+
+    row(&[&"check", &"value"]);
+    row(&[&"rows identical", &(rows1 == rows4)]);
+    row(&[&"snapshots identical", &(snap1 == snap4)]);
+    row(&[&"close-set cache hits", &close_set_hits]);
+    row(&[
+        &"route cache hits/misses",
+        &format!("{route_hits}/{route_misses}"),
+    ]);
+
+    if failures.is_empty() {
+        println!("par_bench smoke OK: byte-identical at 1 and 4 threads");
+    } else {
+        for f in &failures {
+            eprintln!("par_bench smoke FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn bench(scenario: &Scenario, args: &ParArgs) {
+    section(&format!(
+        "par_bench: {} sessions, {} shards, pools of 1/2/4/8 threads",
+        args.sessions, args.shards
+    ));
+    row(&[&"threads", &"elapsed_ms", &"sessions/s"]);
+    let mut rows = Vec::new();
+    let mut baseline_snapshot = None;
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let (_, snapshot) = soak_at(scenario, args, args.shards, threads);
+        let elapsed = start.elapsed();
+        // Every pool width must produce the same simulation — the
+        // timing loop doubles as a determinism sweep.
+        let base = baseline_snapshot.get_or_insert_with(|| snapshot.clone());
+        assert_eq!(
+            *base, snapshot,
+            "telemetry snapshot diverged at {threads} threads"
+        );
+        let sessions_per_sec = args.sessions as f64 / elapsed.as_secs_f64().max(1e-9);
+        row(&[
+            &threads,
+            &elapsed.as_millis(),
+            &format!("{sessions_per_sec:.0}"),
+        ]);
+        rows.push(ParBenchRow {
+            experiment: "par_bench".to_owned(),
+            seed: args.seed,
+            shards: args.shards,
+            threads,
+            elapsed_ms: elapsed.as_millis() as u64,
+            sessions_per_sec,
+        });
+    }
+    let json = json_lines(&rows);
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|e| panic!("cannot write --out {}: {e}", args.out));
+    eprintln!("par_bench baseline written to {}", args.out);
+    print!("{json}");
+}
+
+fn main() {
+    let args = parse_args();
+    let scenario = Scenario::build(Scale::Tiny.scenario_config(), args.seed);
+    if args.smoke {
+        smoke(&scenario, &args);
+    } else {
+        bench(&scenario, &args);
+    }
+}

@@ -8,6 +8,7 @@
 //! determinism test pins down.
 
 use asap_core::events::{run_with, SimConfig, SimReport};
+use asap_core::parallel::run_sharded;
 use asap_core::AsapConfig;
 use asap_netsim::capacity::CapacityConfig;
 use asap_netsim::faults::FaultPlanConfig;
@@ -284,8 +285,30 @@ pub fn chaos_soak_with(
     sessions: usize,
     telemetry: &Telemetry,
 ) -> ChaosSoakReport {
+    chaos_soak_sharded(scenario, seed, sessions, 1, telemetry)
+}
+
+/// [`chaos_soak_with`] split across `shards` independent shards on the
+/// current rayon pool via [`run_sharded`]. `shards == 1` is exactly the
+/// legacy single-shard run (byte-identical output); any larger shard
+/// count is deterministic per `(seed, shards)` regardless of how many
+/// worker threads execute it.
+pub fn chaos_soak_sharded(
+    scenario: &Scenario,
+    seed: u64,
+    sessions: usize,
+    shards: usize,
+    telemetry: &Telemetry,
+) -> ChaosSoakReport {
     let sim = chaos_soak_sim(seed, sessions);
-    let report = run_with(scenario, chaos_soak_config(), &sim, telemetry, "ASAP");
+    let report = run_sharded(
+        scenario,
+        chaos_soak_config(),
+        &sim,
+        shards,
+        telemetry,
+        "ASAP",
+    );
     ChaosSoakReport::from_report(seed, sessions, &report)
 }
 
@@ -469,10 +492,24 @@ pub fn overload_soak_with(
     enabled: bool,
     telemetry: &Telemetry,
 ) -> OverloadSoakReport {
+    overload_soak_sharded(scenario, seed, sessions, enabled, 1, telemetry)
+}
+
+/// [`overload_soak_with`] split across `shards` independent shards on
+/// the current rayon pool via [`run_sharded`]. `shards == 1` reproduces
+/// the legacy single-shard run byte-for-byte.
+pub fn overload_soak_sharded(
+    scenario: &Scenario,
+    seed: u64,
+    sessions: usize,
+    enabled: bool,
+    shards: usize,
+    telemetry: &Telemetry,
+) -> OverloadSoakReport {
     let sim = overload_soak_sim(seed, sessions);
     let config = overload_soak_config(enabled);
     let scope = if enabled { "ASAP" } else { "ASAP@nocap" };
-    let report = run_with(scenario, config, &sim, telemetry, scope);
+    let report = run_sharded(scenario, config, &sim, shards, telemetry, scope);
     OverloadSoakReport::from_report(seed, sessions, &config, &report)
 }
 
@@ -488,6 +525,19 @@ pub fn chaos_overload_phase(
     sessions: usize,
     telemetry: &Telemetry,
 ) -> ChaosSoakReport {
+    chaos_overload_phase_sharded(scenario, seed, sessions, 1, telemetry)
+}
+
+/// [`chaos_overload_phase`] split across `shards` independent shards on
+/// the current rayon pool via [`run_sharded`]. `shards == 1` reproduces
+/// the legacy single-shard run byte-for-byte.
+pub fn chaos_overload_phase_sharded(
+    scenario: &Scenario,
+    seed: u64,
+    sessions: usize,
+    shards: usize,
+    telemetry: &Telemetry,
+) -> ChaosSoakReport {
     let sim = SimConfig {
         caller_skew: 4.0,
         ..chaos_soak_sim(seed, sessions)
@@ -496,7 +546,7 @@ pub fn chaos_overload_phase(
         capacity: overload_soak_config(true).capacity,
         ..chaos_soak_config()
     };
-    let report = run_with(scenario, config, &sim, telemetry, "ASAP@overload");
+    let report = run_sharded(scenario, config, &sim, shards, telemetry, "ASAP@overload");
     let mut summary = ChaosSoakReport::from_report(seed, sessions, &report);
     summary.experiment = "chaos_soak_overload".to_owned();
     summary

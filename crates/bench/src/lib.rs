@@ -63,6 +63,16 @@ pub struct Args {
     pub seed: u64,
     /// Optional path for a telemetry snapshot (`--metrics-out PATH`).
     pub metrics_out: Option<String>,
+    /// Number of deterministic workload shards (`--shards N`, default 1).
+    ///
+    /// 1 runs the legacy single-shard simulation; larger values split
+    /// the workload into independent shards executed on the rayon pool
+    /// and merged in shard order. Output is deterministic per
+    /// `(seed, shards)` at any thread count, but a different shard
+    /// count is a different (re-sharded) workload.
+    pub shards: usize,
+    /// Rayon worker threads (`--threads N`, default: rayon's choice).
+    pub threads: Option<usize>,
 }
 
 impl Args {
@@ -77,6 +87,8 @@ impl Args {
         let mut sessions = None;
         let mut seed = 1;
         let mut metrics_out = None;
+        let mut shards = 1;
+        let mut threads = None;
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
@@ -107,6 +119,15 @@ impl Args {
                     metrics_out = Some(need_value(i));
                     i += 2;
                 }
+                "--shards" => {
+                    shards = need_value(i).parse().expect("--shards takes a number");
+                    assert!(shards >= 1, "--shards must be at least 1");
+                    i += 2;
+                }
+                "--threads" => {
+                    threads = Some(need_value(i).parse().expect("--threads takes a number"));
+                    i += 2;
+                }
                 other => panic!("unknown argument {other:?}"),
             }
         }
@@ -116,7 +137,25 @@ impl Args {
             sessions,
             seed,
             metrics_out,
+            shards,
+            threads,
         }
+    }
+
+    /// Builds a rayon pool honouring `--threads` (rayon's default width
+    /// when the flag is absent). Sharded drivers run inside
+    /// `pool.install(..)` so the flag governs them without touching the
+    /// global pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool cannot be built.
+    pub fn thread_pool(&self) -> rayon::ThreadPool {
+        let mut builder = rayon::ThreadPoolBuilder::new();
+        if let Some(n) = self.threads {
+            builder = builder.num_threads(n);
+        }
+        builder.build().expect("rayon pool builds")
     }
 
     /// Builds the scenario for these arguments.

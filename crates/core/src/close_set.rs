@@ -16,10 +16,13 @@
 //! close cluster set.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use asap_cluster::{Asn, ClusterId};
 use asap_topology::valley::{bounded_search, bounded_search_unconstrained, Expand};
 use asap_workload::{HostId, Scenario};
+use parking_lot::Mutex;
 
 use crate::config::AsapConfig;
 
@@ -44,10 +47,13 @@ pub struct CloseClusterEntry {
 pub struct CloseClusterSet {
     entries: Vec<CloseClusterEntry>,
     by_cluster: HashMap<ClusterId, usize>,
-    /// Ping messages the surrogate spent constructing the set
-    /// (request + reply per measured cluster). This is *background*
-    /// traffic amortized over all sessions of the cluster, reported
-    /// separately from per-session overhead (§7.3).
+    /// Ping messages the surrogate spent constructing the set: exactly
+    /// one request + reply per *completed* measurement of a cluster
+    /// reached by the BFS. Clusters co-located in the origin AS are
+    /// close by construction (Fig. 9) and cost nothing, and a cluster
+    /// whose measurement could not complete is never charged. This is
+    /// *background* traffic amortized over all sessions of the cluster,
+    /// reported separately from per-session overhead (§7.3).
     pub construction_messages: u64,
 }
 
@@ -127,6 +133,166 @@ impl ClusterIndex {
     }
 }
 
+/// A cached close cluster set plus the surrogate epochs of every cluster
+/// it references, snapshotted at construction time.
+#[derive(Debug)]
+struct CachedCloseSet {
+    deps: Vec<(ClusterId, u64)>,
+    set: Arc<CloseClusterSet>,
+    /// Virtual time the set was built — bounds the stale-close-set rung.
+    built_at_ms: u64,
+}
+
+/// Outcome of a [`CloseSetCache::lookup`].
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// A current-epoch set was served from the cache.
+    Hit(Arc<CloseClusterSet>),
+    /// An entry existed but referenced a stale epoch; it has been
+    /// removed (defensive — eager purging should prevent this).
+    Stale,
+    /// Nothing cached for the cluster.
+    Miss,
+}
+
+/// The per-cluster memoized close-cluster-set cache.
+///
+/// Entries are keyed by origin cluster and carry the surrogate epoch of
+/// every cluster the set references, snapshotted at build time. Two
+/// invalidation channels keep the memo honest:
+///
+/// * **cold epoch bumps** ([`CloseSetCache::purge_referencing`]) drop
+///   every entry referencing the re-elected cluster;
+/// * **warm handoffs** ([`CloseSetCache::refresh_epoch`]) adopt the new
+///   epoch in place, because the set's *content* is cluster-level and
+///   relays resolve through `surrogate_of` at pick time.
+///
+/// Hit/miss counters are plain atomics so a shared `&self` can count
+/// from the hot path; they are observability only and never feed back
+/// into protocol decisions (determinism is unaffected by their
+/// ordering).
+#[derive(Debug, Default)]
+pub struct CloseSetCache {
+    entries: Mutex<HashMap<ClusterId, CachedCloseSet>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CloseSetCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `cluster`, validating the entry's epoch snapshot through
+    /// `epoch_of` (typically a closure over the caller's locked replica
+    /// table, preserving the caller's lock order). A stale entry is
+    /// removed on sight. Stale and absent both count as misses — each
+    /// forces a rebuild.
+    pub fn lookup(&self, cluster: ClusterId, epoch_of: impl Fn(ClusterId) -> u64) -> CacheLookup {
+        let mut entries = self.entries.lock();
+        match entries.get(&cluster) {
+            Some(cached) => {
+                if cached.deps.iter().all(|&(cl, e)| epoch_of(cl) == e) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    CacheLookup::Hit(Arc::clone(&cached.set))
+                } else {
+                    entries.remove(&cluster);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    CacheLookup::Stale
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Miss
+            }
+        }
+    }
+
+    /// Memoizes a freshly built set with its epoch dependency snapshot.
+    /// Keeps an existing entry if one raced in first.
+    pub fn insert(
+        &self,
+        cluster: ClusterId,
+        deps: Vec<(ClusterId, u64)>,
+        set: Arc<CloseClusterSet>,
+        built_at_ms: u64,
+    ) {
+        self.entries
+            .lock()
+            .entry(cluster)
+            .or_insert(CachedCloseSet {
+                deps,
+                set,
+                built_at_ms,
+            });
+    }
+
+    /// Warm-handoff invalidation rule: entries referencing `cluster`
+    /// adopt `epoch` in place (content stays valid).
+    pub fn refresh_epoch(&self, cluster: ClusterId, epoch: u64) {
+        let mut entries = self.entries.lock();
+        for entry in entries.values_mut() {
+            for dep in entry.deps.iter_mut() {
+                if dep.0 == cluster {
+                    dep.1 = epoch;
+                }
+            }
+        }
+    }
+
+    /// Cold-epoch invalidation rule: drops every entry referencing
+    /// `cluster`, returning how many were dropped.
+    pub fn purge_referencing(&self, cluster: ClusterId) -> u64 {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|_, c| c.deps.iter().all(|&(cl, _)| cl != cluster));
+        (before - entries.len()) as u64
+    }
+
+    /// The cached set for `cluster` if it was built within `max_age_ms`
+    /// of `now_ms` — the bounded-staleness rung of the degradation
+    /// ladder (epoch validity is *not* checked here; a stale-but-recent
+    /// set is exactly what the rung serves).
+    pub fn fresh_within(
+        &self,
+        cluster: ClusterId,
+        now_ms: u64,
+        max_age_ms: u64,
+    ) -> Option<Arc<CloseClusterSet>> {
+        self.entries.lock().get(&cluster).and_then(|c| {
+            (now_ms.saturating_sub(c.built_at_ms) <= max_age_ms).then(|| Arc::clone(&c.set))
+        })
+    }
+
+    /// Whether every entry references only current epochs per
+    /// `epoch_of` (validation hook for the robustness tests).
+    pub fn epoch_consistent(&self, epoch_of: impl Fn(ClusterId) -> u64) -> bool {
+        self.entries
+            .lock()
+            .values()
+            .all(|c| c.deps.iter().all(|&(cl, e)| epoch_of(cl) == e))
+    }
+
+    /// `(hits, misses)` recorded so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of memoized sets.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// How the close-cluster-set BFS explores the AS graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchMode {
@@ -179,12 +345,12 @@ pub fn construct_close_cluster_set_with_mode(
     let mut set = CloseClusterSet::default();
 
     // Clusters co-located in the origin AS are close by construction
-    // (intra-AS latency), at 0 AS hops.
+    // (intra-AS latency), at 0 AS hops — no ping is sent, so no
+    // construction messages are charged.
     for &c in index.clusters_of(origin_asn) {
         if c == origin_cluster {
             continue;
         }
-        set.construction_messages += 2;
         let peer = surrogate_of(c);
         if let (Some(rtt), Some(loss)) = (
             measure_rtt(scenario, origin_surrogate, peer),
@@ -213,14 +379,15 @@ pub fn construct_close_cluster_set_with_mode(
         // even the best leg into this AS violates a threshold.
         let mut best_rtt = f64::INFINITY;
         for &c in clusters {
-            set.construction_messages += 2;
             let peer = surrogate_of(c);
             let (Some(rtt), Some(loss)) = (
                 measure_rtt(scenario, origin_surrogate, peer),
                 scenario.host_loss(origin_surrogate, peer),
             ) else {
+                // No measurement completed: no ping pair to account.
                 continue;
             };
+            set.construction_messages += 2;
             best_rtt = best_rtt.min(rtt);
             if rtt < config.lat_t_ms && loss < config.loss_t {
                 set.push(CloseClusterEntry {
@@ -366,9 +533,42 @@ mod tests {
         let surrogate = delegate_surrogates(&scenario);
         let origin = scenario.population.clustering().clusters()[0].id();
         let set = construct_close_cluster_set(&scenario, &index, &surrogate, origin, &config);
-        // Two messages per measured cluster; at least the accepted ones
-        // were measured.
-        assert!(set.construction_messages >= 2 * set.len() as u64);
+        // Two messages per completed measurement; accepted entries
+        // beyond 0 hops were all measured (co-located ones are free).
+        let remote = set.entries().iter().filter(|e| e.as_hops > 0).count() as u64;
+        assert!(set.construction_messages >= 2 * remote);
+        assert_eq!(
+            set.construction_messages % 2,
+            0,
+            "pings come in request/reply pairs"
+        );
+    }
+
+    #[test]
+    fn colocated_clusters_cost_no_construction_messages() {
+        // k = 0 pins the BFS at home: only AS-co-located clusters can
+        // enter the set, and Fig. 9 makes them close by construction —
+        // no ping, no charge.
+        let (scenario, index, config) = setup();
+        let surrogate = delegate_surrogates(&scenario);
+        let zero_hop = AsapConfig { k: 0, ..config };
+        let mut saw_colocated = false;
+        for c in scenario.population.clustering().clusters() {
+            let set = construct_close_cluster_set(&scenario, &index, &surrogate, c.id(), &zero_hop);
+            assert_eq!(
+                set.construction_messages,
+                0,
+                "co-located measurement charged messages for {:?}",
+                c.id()
+            );
+            saw_colocated |= !set.is_empty();
+            for e in set.entries() {
+                assert_eq!(e.as_hops, 0);
+            }
+        }
+        // The tiny scenario packs several clusters per AS, so the zero
+        // charge above is not vacuous.
+        assert!(saw_colocated, "no AS with co-located clusters in fixture");
     }
 
     #[test]
@@ -411,5 +611,88 @@ mod tests {
         for c in clustering.clusters() {
             assert!(index.clusters_of(c.asn()).contains(&c.id()));
         }
+    }
+
+    fn sample_set() -> Arc<CloseClusterSet> {
+        Arc::new(CloseClusterSet::from_entries([CloseClusterEntry {
+            cluster: ClusterId(2),
+            surrogate: HostId(20),
+            rtt_ms: 30.0,
+            loss: 0.001,
+            as_hops: 1,
+        }]))
+    }
+
+    #[test]
+    fn cache_hits_after_insert_and_counts() {
+        let cache = CloseSetCache::new();
+        let origin = ClusterId(1);
+        assert!(matches!(cache.lookup(origin, |_| 0), CacheLookup::Miss));
+        cache.insert(
+            origin,
+            vec![(origin, 0), (ClusterId(2), 0)],
+            sample_set(),
+            5,
+        );
+        match cache.lookup(origin, |_| 0) {
+            CacheLookup::Hit(set) => assert!(set.contains(ClusterId(2))),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_evicts_on_lookup() {
+        let cache = CloseSetCache::new();
+        let origin = ClusterId(1);
+        cache.insert(
+            origin,
+            vec![(origin, 0), (ClusterId(2), 3)],
+            sample_set(),
+            0,
+        );
+        // Cluster 2 cold-advanced to epoch 4: the entry is stale.
+        let epoch_of = |c: ClusterId| if c == ClusterId(2) { 4 } else { 0 };
+        assert!(matches!(cache.lookup(origin, epoch_of), CacheLookup::Stale));
+        assert!(cache.is_empty(), "stale entry must be evicted");
+        assert!(matches!(cache.lookup(origin, epoch_of), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn warm_refresh_keeps_entry_cold_purge_drops_it() {
+        let cache = CloseSetCache::new();
+        let origin = ClusterId(1);
+        cache.insert(
+            origin,
+            vec![(origin, 0), (ClusterId(2), 0)],
+            sample_set(),
+            0,
+        );
+
+        // Warm handoff on cluster 2: epoch adopted in place, still a hit.
+        cache.refresh_epoch(ClusterId(2), 1);
+        let epoch_of = |c: ClusterId| if c == ClusterId(2) { 1 } else { 0 };
+        assert!(cache.epoch_consistent(epoch_of));
+        assert!(matches!(
+            cache.lookup(origin, epoch_of),
+            CacheLookup::Hit(_)
+        ));
+
+        // Cold re-election on cluster 2: the entry referencing it dies.
+        assert_eq!(cache.purge_referencing(ClusterId(2)), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.purge_referencing(ClusterId(2)), 0);
+    }
+
+    #[test]
+    fn fresh_within_bounds_staleness_by_age() {
+        let cache = CloseSetCache::new();
+        let origin = ClusterId(1);
+        cache.insert(origin, vec![(origin, 0)], sample_set(), 100);
+        assert!(cache.fresh_within(origin, 150, 60).is_some());
+        assert!(cache.fresh_within(origin, 200, 60).is_none());
+        // Age checks ignore epochs: that is the stale rung's contract.
+        assert!(cache.fresh_within(origin, 100, 0).is_some());
     }
 }

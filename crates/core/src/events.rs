@@ -59,6 +59,18 @@ impl MessageCounts {
             + self.heartbeat
             + self.hedge
     }
+
+    /// Adds another shard's message counts into this one (plain event
+    /// counts: field-wise addition is the exact combine).
+    pub fn merge_from(&mut self, other: &MessageCounts) {
+        self.join += other.join;
+        self.close_set += other.close_set;
+        self.publish += other.publish;
+        self.election += other.election;
+        self.call += other.call;
+        self.heartbeat += other.heartbeat;
+        self.hedge += other.hedge;
+    }
 }
 
 /// Configuration of the protocol simulation.
@@ -174,6 +186,40 @@ pub struct SimReport {
     pub messages: MessageCounts,
     /// Virtual time at which the simulation ended.
     pub ended_at: SimTime,
+}
+
+impl SimReport {
+    /// Folds another shard's report into this one. Event counts add;
+    /// the nested recovery/overload stats use their own merge rules;
+    /// `max_relay_slots_in_use` (a high-water mark) and `ended_at` (all
+    /// shards simulate the same virtual window) take the maximum. Every
+    /// combine is associative and commutative, so the parallel engine's
+    /// shard-order fold equals any other grouping.
+    pub fn merge_from(&mut self, other: &SimReport) {
+        self.joined += other.joined;
+        self.calls_completed += other.calls_completed;
+        self.calls_without_path += other.calls_without_path;
+        self.failovers += other.failovers;
+        self.midcall_failovers += other.midcall_failovers;
+        self.calls_dropped += other.calls_dropped;
+        self.congestion_degraded_calls += other.congestion_degraded_calls;
+        self.partitions += other.partitions;
+        self.partition_dropped_calls += other.partition_dropped_calls;
+        self.degraded_calls += other.degraded_calls;
+        self.dead_relay_calls += other.dead_relay_calls;
+        self.unexcused_degraded_calls += other.unexcused_degraded_calls;
+        self.unterminated_calls += other.unterminated_calls;
+        self.stuck_clusters += other.stuck_clusters;
+        self.recovery.merge_from(&other.recovery);
+        self.overload.merge_from(&other.overload);
+        self.overload_shed_calls += other.overload_shed_calls;
+        self.saturation_failovers += other.saturation_failovers;
+        self.max_relay_slots_in_use = self
+            .max_relay_slots_in_use
+            .max(other.max_relay_slots_in_use);
+        self.messages.merge_from(&other.messages);
+        self.ended_at = self.ended_at.max(other.ended_at);
+    }
 }
 
 /// Events driving the protocol simulation.

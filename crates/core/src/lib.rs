@@ -54,12 +54,14 @@ pub mod close_set;
 mod config;
 pub mod events;
 pub mod ladder;
+pub mod parallel;
 pub mod select;
 mod selector;
 mod system;
 
 pub use config::{AsapConfig, MembershipConfig};
 pub use ladder::{DegradationLadder, DegradationLevel};
+pub use parallel::{run_sharded, shard_configs, shard_seed};
 pub use selector::AsapSelector;
 pub use system::{
     AsapSystem, CallOutcome, ChosenPath, FetchResult, MembershipTickReport, OverloadStats,

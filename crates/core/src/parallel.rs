@@ -1,0 +1,230 @@
+//! Deterministic parallel session engine.
+//!
+//! The simulation is sharded at the *run* level, not the event level:
+//! each shard is a fully independent simulation with its own
+//! [`AsapSystem`](crate::AsapSystem), its own seeded RNG stream, and its
+//! own private [`Telemetry`] context. Shards run concurrently on the
+//! rayon pool, their results are collected order-preserving, and the
+//! merge happens in shard-index order on a single thread. Because the
+//! shard decomposition depends only on `(seed, shards)` — never on the
+//! thread count — and every merge operation
+//! ([`SimReport::merge_from`], [`Telemetry::merge_from`]) is
+//! associative and commutative, the merged output is byte-identical for
+//! any number of worker threads.
+//!
+//! Shard RNG streams are domain-separated: shard `i` of a run with seed
+//! `s` draws its seed from a ChaCha8 stream keyed by
+//! `("ASAPSHRD", s, i)`, so neighbouring run seeds and neighbouring
+//! shard indices produce uncorrelated workloads.
+
+use asap_telemetry::Telemetry;
+use asap_workload::Scenario;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::config::AsapConfig;
+use crate::events::{run_with, SimConfig, SimReport};
+
+/// Derives the independent RNG seed for shard `shard` of a run seeded
+/// with `seed`.
+///
+/// The derivation is a fixed-key ChaCha8 stream (tag `ASAPSHRD`), so it
+/// is stable across platforms and releases; changing either input
+/// changes the whole stream.
+#[must_use]
+pub fn shard_seed(seed: u64, shard: u64) -> u64 {
+    let mut key = [0u8; 32];
+    key[..8].copy_from_slice(b"ASAPSHRD");
+    key[8..16].copy_from_slice(&seed.to_le_bytes());
+    key[16..24].copy_from_slice(&shard.to_le_bytes());
+    ChaCha8Rng::from_seed(key).next_u64()
+}
+
+/// Splits one [`SimConfig`] into `shards` independent shard configs.
+///
+/// Workload volume (`calls`, `surrogate_failures`) is split as evenly
+/// as possible, with the remainder going to the lowest shard indices,
+/// so the totals are preserved exactly. Each shard gets its own
+/// [`shard_seed`]-derived seed (and fault-plan seed when a fault plan
+/// is present); everything else is inherited verbatim.
+///
+/// The decomposition depends only on the config and `shards` — never
+/// on thread count — which is what makes the parallel run
+/// deterministic.
+#[must_use]
+pub fn shard_configs(sim: &SimConfig, shards: usize) -> Vec<SimConfig> {
+    assert!(shards > 0, "cannot shard a run into zero shards");
+    (0..shards)
+        .map(|i| {
+            let seed = shard_seed(sim.seed, i as u64);
+            let mut cfg = sim.clone();
+            cfg.seed = seed;
+            cfg.calls = sim.calls / shards + usize::from(i < sim.calls % shards);
+            cfg.surrogate_failures =
+                sim.surrogate_failures / shards + usize::from(i < sim.surrogate_failures % shards);
+            if let Some(faults) = &mut cfg.faults {
+                // Give every shard its own fault stream, derived from the
+                // shard seed so it is independent of the workload stream.
+                faults.seed = shard_seed(seed, u64::MAX);
+            }
+            cfg
+        })
+        .collect()
+}
+
+/// Runs the simulation split across `shards` independent shards on the
+/// current rayon pool, merging the per-shard reports and telemetry into
+/// `telemetry` in shard order.
+///
+/// With `shards <= 1` this is exactly [`run_with`] — same RNG stream,
+/// same telemetry, byte-identical output — so existing single-shard
+/// callers can route through here unconditionally. With more shards the
+/// per-seed output is still deterministic, but it is a *different*
+/// (sharded) workload than the single-shard run of the same seed:
+/// determinism holds across thread counts, not across shard counts.
+///
+/// # Panics
+///
+/// Panics if the scenario population is empty (propagated from
+/// [`run_with`]).
+pub fn run_sharded(
+    scenario: &Scenario,
+    config: AsapConfig,
+    sim: &SimConfig,
+    shards: usize,
+    telemetry: &Telemetry,
+    scope_name: &str,
+) -> SimReport {
+    if shards <= 1 {
+        return run_with(scenario, config, sim, telemetry, scope_name);
+    }
+    let shard_sims = shard_configs(sim, shards);
+    // Each shard gets a private, sink-disabled Telemetry so concurrent
+    // shards never interleave writes into the shared context. Results
+    // come back in shard order (par_iter preserves indices), and the
+    // merge below runs on this thread alone.
+    let results: Vec<(SimReport, Telemetry)> = shard_sims
+        .into_par_iter()
+        .map(|shard_sim| {
+            let local = Telemetry::new();
+            let report = run_with(scenario, config, &shard_sim, &local, scope_name);
+            (report, local)
+        })
+        .collect();
+    let mut merged = SimReport::default();
+    for (report, local) in &results {
+        merged.merge_from(report);
+        telemetry.merge_from(local);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_workload::ScenarioConfig;
+
+    fn scenario() -> Scenario {
+        Scenario::build(ScenarioConfig::tiny(), 7)
+    }
+
+    fn sim() -> SimConfig {
+        SimConfig {
+            join_window_ms: 20_000,
+            duration_ms: 120_000,
+            calls: 30,
+            surrogate_failures: 5,
+            call_duration_ms: 30_000,
+            seed: 42,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_and_stable() {
+        let a = shard_seed(42, 0);
+        let b = shard_seed(42, 1);
+        let c = shard_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls (pure function of its inputs).
+        assert_eq!(a, shard_seed(42, 0));
+    }
+
+    #[test]
+    fn shard_configs_preserve_workload_totals() {
+        let base = sim();
+        for shards in 1..=7 {
+            let cfgs = shard_configs(&base, shards);
+            assert_eq!(cfgs.len(), shards);
+            let calls: usize = cfgs.iter().map(|c| c.calls).sum();
+            let fails: usize = cfgs.iter().map(|c| c.surrogate_failures).sum();
+            assert_eq!(calls, base.calls);
+            assert_eq!(fails, base.surrogate_failures);
+            // Even split: no shard differs by more than one call.
+            let min = cfgs.iter().map(|c| c.calls).min().unwrap();
+            let max = cfgs.iter().map(|c| c.calls).max().unwrap();
+            assert!(max - min <= 1);
+            // Distinct seeds per shard.
+            for (i, c) in cfgs.iter().enumerate() {
+                assert_eq!(c.seed, shard_seed(base.seed, i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_plain_run() {
+        let scenario = scenario();
+        let config = AsapConfig::default();
+        let base = sim();
+
+        let t1 = Telemetry::new();
+        let plain = run_with(&scenario, config, &base, &t1, "ASAP");
+        let t2 = Telemetry::new();
+        let sharded = run_sharded(&scenario, config, &base, 1, &t2, "ASAP");
+
+        assert_eq!(plain, sharded);
+        assert_eq!(t1.snapshot_json(), t2.snapshot_json());
+    }
+
+    #[test]
+    fn sharded_run_is_thread_count_invariant() {
+        let scenario = scenario();
+        let config = AsapConfig::default();
+        let base = sim();
+
+        let run_at = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let telemetry = Telemetry::new();
+            let report =
+                pool.install(|| run_sharded(&scenario, config, &base, 4, &telemetry, "ASAP"));
+            (report, telemetry.snapshot_json())
+        };
+
+        let (r1, snap1) = run_at(1);
+        let (r4, snap4) = run_at(4);
+        assert_eq!(r1, r4);
+        assert_eq!(snap1, snap4, "metrics snapshots must be byte-identical");
+        assert!(r1.calls_completed > 0, "shards must carry real workload");
+    }
+
+    #[test]
+    fn merge_order_is_shard_order_not_completion_order() {
+        // Run the same sharded workload twice on the same (1-thread)
+        // pool; byte-identical output means the merge cannot depend on
+        // anything nondeterministic.
+        let scenario = scenario();
+        let config = AsapConfig::default();
+        let base = sim();
+        let go = || {
+            let telemetry = Telemetry::new();
+            let report = run_sharded(&scenario, config, &base, 3, &telemetry, "ASAP");
+            (report, telemetry.snapshot_json())
+        };
+        assert_eq!(go(), go());
+    }
+}

@@ -24,7 +24,7 @@
 //! `surrogate_of` at pick time. Without quorum the cluster falls back to a
 //! cold re-election with the PR1 purge semantics.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use asap_cluster::{Asn, ClusterId};
@@ -35,7 +35,9 @@ use asap_telemetry::{Counter, Gauge, HistogramHandle, LedgerScope, MessageKind, 
 use asap_workload::{HostId, Scenario};
 use parking_lot::Mutex;
 
-use crate::close_set::{construct_close_cluster_set, CloseClusterSet, ClusterIndex};
+use crate::close_set::{
+    construct_close_cluster_set, CacheLookup, CloseClusterSet, CloseSetCache, ClusterIndex,
+};
 use crate::config::AsapConfig;
 use crate::ladder::{DegradationLadder, DegradationLevel};
 use crate::select::{select_close_relay, CloseRelaySelection};
@@ -84,6 +86,29 @@ pub struct RecoveryStats {
     /// Calls forced onto the direct path above `latT` because even
     /// probing found no relay.
     pub forced_direct: u64,
+}
+
+impl RecoveryStats {
+    /// Adds another shard's recovery counters into this one. Every
+    /// field is a plain event count, so field-wise addition is the
+    /// exact combine (associative and commutative).
+    pub fn merge_from(&mut self, other: &RecoveryStats) {
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.failovers += other.failovers;
+        self.re_elections += other.re_elections;
+        self.cache_invalidations += other.cache_invalidations;
+        self.recovery_messages += other.recovery_messages;
+        self.stabilization_ticks += other.stabilization_ticks;
+        self.warm_handoffs += other.warm_handoffs;
+        self.quorum_failures += other.quorum_failures;
+        self.suspected_dead += other.suspected_dead;
+        self.downgrades += other.downgrades;
+        self.ladder_recoveries += other.ladder_recoveries;
+        self.stale_sets_served += other.stale_sets_served;
+        self.probe_fallbacks += other.probe_fallbacks;
+        self.forced_direct += other.forced_direct;
+    }
 }
 
 /// Counters of everything the capacity model did: admission verdicts on
@@ -140,6 +165,28 @@ impl OverloadStats {
     pub fn accounted(&self) -> bool {
         self.offered_fetches == self.admitted_fetches + self.queued_fetches + self.shed_fetches()
     }
+
+    /// Adds another shard's overload counters into this one. Event
+    /// counts add; the two high-water marks (`max_queue_depth`,
+    /// `hot_surrogate_load`) take the maximum — both combines are
+    /// associative and commutative, so shard merge order cannot change
+    /// the result.
+    pub fn merge_from(&mut self, other: &OverloadStats) {
+        self.offered_fetches += other.offered_fetches;
+        self.admitted_fetches += other.admitted_fetches;
+        self.queued_fetches += other.queued_fetches;
+        self.queue_wait_ms += other.queue_wait_ms;
+        self.shed_queue_full += other.shed_queue_full;
+        self.shed_deadline += other.shed_deadline;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        self.hedged_fetches += other.hedged_fetches;
+        self.hedge_wins += other.hedge_wins;
+        self.relay_busy_skips += other.relay_busy_skips;
+        self.relay_spillovers += other.relay_spillovers;
+        self.saturated_acquires += other.saturated_acquires;
+        self.surrogate_requests += other.surrogate_requests;
+        self.hot_surrogate_load = self.hot_surrogate_load.max(other.hot_surrogate_load);
+    }
 }
 
 /// Counters describing everything the system did since bootstrap.
@@ -158,6 +205,11 @@ pub struct SystemStats {
     pub relayed_calls: u64,
     /// Close cluster sets constructed by surrogates.
     pub close_sets_built: u64,
+    /// Close-set requests answered from the per-cluster memo.
+    pub close_set_cache_hits: u64,
+    /// Close-set requests that had to (re)build the set (absent or
+    /// epoch-stale cache entries).
+    pub close_set_cache_misses: u64,
     /// Surrogate elections performed (bootstrap + cold re-elections).
     pub elections: u64,
     /// Everything spent recovering from injected faults.
@@ -165,6 +217,23 @@ pub struct SystemStats {
     /// Everything the capacity model did: admission verdicts, hedges,
     /// spillovers, surrogate-load high-water marks.
     pub overload: OverloadStats,
+}
+
+impl SystemStats {
+    /// Adds another shard's counters into this one (counts add; the
+    /// nested stats use their own merge rules).
+    pub fn merge_from(&mut self, other: &SystemStats) {
+        self.joins += other.joins;
+        self.calls += other.calls;
+        self.direct_calls += other.direct_calls;
+        self.relayed_calls += other.relayed_calls;
+        self.close_sets_built += other.close_sets_built;
+        self.close_set_cache_hits += other.close_set_cache_hits;
+        self.close_set_cache_misses += other.close_set_cache_misses;
+        self.elections += other.elections;
+        self.recovery.merge_from(&other.recovery);
+        self.overload.merge_from(&other.overload);
+    }
 }
 
 /// The outcome of one call placed through ASAP.
@@ -277,7 +346,9 @@ pub struct AsapSystem<'a> {
     surrogate_load: Mutex<std::collections::HashMap<(ClusterId, HostId), u64>>,
     /// Hosts marked offline (failed surrogates stay out of elections).
     offline: Mutex<Vec<bool>>,
-    close_sets: Mutex<HashMap<ClusterId, CachedCloseSet>>,
+    /// Memoized per-cluster close sets with epoch-snapshot invalidation
+    /// (see [`CloseSetCache`] for the invalidation rules).
+    close_sets: CloseSetCache,
     /// Injected control-message drop decider (None = healthy network).
     message_faults: Mutex<Option<MessageDrops>>,
     /// Phi-accrual liveness over every current and former replica member.
@@ -292,6 +363,8 @@ pub struct AsapSystem<'a> {
     relay_slots: Option<Mutex<RelaySlots>>,
     /// Registry handles for the overload counters.
     overload_meters: OverloadMeters,
+    /// Registry mirrors of the close-set cache hit/miss counters.
+    cache_meters: CacheMeters,
     /// ASNs currently cut off by an AS partition (hosts intact but
     /// silent to the outside).
     partitioned: Mutex<BTreeSet<u32>>,
@@ -310,14 +383,23 @@ pub struct AsapSystem<'a> {
     call_rtt: HistogramHandle,
 }
 
-/// A cached close cluster set plus the surrogate epochs of every cluster
-/// it references, snapshotted at construction time.
+/// Registry mirror counters for the close-set cache, so cache
+/// effectiveness shows up in `--metrics-out` snapshots next to the
+/// authoritative [`CloseSetCache`] atomics.
 #[derive(Debug)]
-struct CachedCloseSet {
-    deps: Vec<(ClusterId, u64)>,
-    set: Arc<CloseClusterSet>,
-    /// Virtual time the set was built — bounds the stale-close-set rung.
-    built_at_ms: u64,
+struct CacheMeters {
+    hits: Counter,
+    misses: Counter,
+}
+
+impl CacheMeters {
+    fn new(telemetry: &Telemetry, scope_name: &str) -> Self {
+        let registry = telemetry.registry();
+        CacheMeters {
+            hits: registry.counter(&format!("{scope_name}.cache.close_set.hits")),
+            misses: registry.counter(&format!("{scope_name}.cache.close_set.misses")),
+        }
+    }
 }
 
 /// Registry handles for the overload counters, created once at
@@ -421,13 +503,14 @@ impl<'a> AsapSystem<'a> {
             replicas: Mutex::new(Vec::new()),
             surrogate_load: Mutex::new(Default::default()),
             offline: Mutex::new(offline),
-            close_sets: Mutex::new(HashMap::new()),
+            close_sets: CloseSetCache::new(),
             message_faults: Mutex::new(None),
             membership: Mutex::new(MembershipView::new(config.membership.suspicion)),
             ladders: Mutex::new(vec![DegradationLadder::default(); cluster_count]),
             admissions: Mutex::new(BTreeMap::new()),
             relay_slots,
             overload_meters: OverloadMeters::new(telemetry, scope_name),
+            cache_meters: CacheMeters::new(telemetry, scope_name),
             partitioned: Mutex::new(BTreeSet::new()),
             clock_ms: Mutex::new(0),
             stats: Mutex::new(SystemStats::default()),
@@ -477,9 +560,14 @@ impl<'a> AsapSystem<'a> {
         &self.config
     }
 
-    /// A snapshot of the counters.
+    /// A snapshot of the counters (close-set cache hit/miss counts are
+    /// read from the cache's own atomics at snapshot time).
     pub fn stats(&self) -> SystemStats {
-        *self.stats.lock()
+        let mut stats = *self.stats.lock();
+        let (hits, misses) = self.close_sets.stats();
+        stats.close_set_cache_hits = hits;
+        stats.close_set_cache_misses = misses;
+        stats
     }
 
     /// The telemetry context this system records into.
@@ -1040,24 +1128,13 @@ impl<'a> AsapSystem<'a> {
     /// close sets are cluster-level and relays resolve through
     /// `surrogate_of` at pick time.
     fn refresh_epoch(&self, cluster: ClusterId, epoch: u64) {
-        let mut cache = self.close_sets.lock();
-        for entry in cache.values_mut() {
-            for dep in entry.deps.iter_mut() {
-                if dep.0 == cluster {
-                    dep.1 = epoch;
-                }
-            }
-        }
+        self.close_sets.refresh_epoch(cluster, epoch);
     }
 
     /// Eagerly purges every cached close set that references `cluster`,
     /// so no stale entry can ever be served after a cold epoch change.
     fn purge_referencing(&self, cluster: ClusterId) {
-        let mut cache = self.close_sets.lock();
-        let before = cache.len();
-        cache.retain(|_, c| c.deps.iter().all(|&(cl, _)| cl != cluster));
-        let dropped = (before - cache.len()) as u64;
-        drop(cache);
+        let dropped = self.close_sets.purge_referencing(cluster);
         if dropped > 0 {
             self.stats.lock().recovery.cache_invalidations += dropped;
         }
@@ -1069,11 +1146,8 @@ impl<'a> AsapSystem<'a> {
     /// moment).
     pub fn cache_epoch_consistent(&self) -> bool {
         let replicas = self.replicas.lock();
-        self.close_sets.lock().values().all(|c| {
-            c.deps
-                .iter()
-                .all(|&(cl, e)| replicas[cl.0 as usize].epoch == e)
-        })
+        self.close_sets
+            .epoch_consistent(|cl| replicas[cl.0 as usize].epoch)
     }
 
     /// The join flow (steps 1–4 of Fig. 8): the host learns its ASN and
@@ -1098,20 +1172,21 @@ impl<'a> AsapSystem<'a> {
     pub fn close_set_of(&self, cluster: ClusterId) -> Arc<CloseClusterSet> {
         {
             let replicas = self.replicas.lock();
-            let mut cache = self.close_sets.lock();
-            if let Some(cached) = cache.get(&cluster) {
-                if cached
-                    .deps
-                    .iter()
-                    .all(|&(cl, e)| replicas[cl.0 as usize].epoch == e)
-                {
-                    return Arc::clone(&cached.set);
+            let lookup = self
+                .close_sets
+                .lookup(cluster, |cl| replicas[cl.0 as usize].epoch);
+            drop(replicas);
+            match lookup {
+                CacheLookup::Hit(set) => {
+                    self.cache_meters.hits.inc();
+                    return set;
                 }
-                // Defensive: eager purging should have removed it.
-                cache.remove(&cluster);
-                drop(cache);
-                drop(replicas);
-                self.stats.lock().recovery.cache_invalidations += 1;
+                CacheLookup::Stale => {
+                    // Defensive: eager purging should have removed it.
+                    self.cache_meters.misses.inc();
+                    self.stats.lock().recovery.cache_invalidations += 1;
+                }
+                CacheLookup::Miss => self.cache_meters.misses.inc(),
             }
         }
         let primaries: Vec<HostId> = self.replicas.lock().iter().map(|r| r.active[0]).collect();
@@ -1143,13 +1218,7 @@ impl<'a> AsapSystem<'a> {
         }
         drop(replicas);
         self.close_sets
-            .lock()
-            .entry(cluster)
-            .or_insert(CachedCloseSet {
-                deps,
-                set: Arc::clone(&set),
-                built_at_ms,
-            });
+            .insert(cluster, deps, Arc::clone(&set), built_at_ms);
         Arc::clone(&set)
     }
 
@@ -1288,13 +1357,9 @@ impl<'a> AsapSystem<'a> {
         // unreachable, or every retry eaten. A cached set of bounded age
         // still beats probing.
         let now = self.now_ms();
-        let cached = {
-            let cache = self.close_sets.lock();
-            cache.get(&cluster).and_then(|c| {
-                (now.saturating_sub(c.built_at_ms) <= self.config.membership.stale_set_max_age_ms)
-                    .then(|| Arc::clone(&c.set))
-            })
-        };
+        let cached =
+            self.close_sets
+                .fresh_within(cluster, now, self.config.membership.stale_set_max_age_ms);
         match cached {
             Some(set) => {
                 self.stats.lock().recovery.stale_sets_served += 1;
@@ -1873,7 +1938,36 @@ mod tests {
         let a = system.close_set_of(c);
         let b = system.close_set_of(c);
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(system.stats().close_sets_built, 1);
+        let stats = system.stats();
+        assert_eq!(stats.close_sets_built, 1);
+        // One build (miss) then one memo hit, mirrored into the
+        // registry counters.
+        assert_eq!(stats.close_set_cache_misses, 1);
+        assert_eq!(stats.close_set_cache_hits, 1);
+        let registry = system.telemetry().registry();
+        assert_eq!(registry.counter("ASAP.cache.close_set.hits").get(), 1);
+        assert_eq!(registry.counter("ASAP.cache.close_set.misses").get(), 1);
+    }
+
+    #[test]
+    fn construction_counter_reconciles_with_ledger_pings() {
+        // The amortized construction cost reported on each set must
+        // equal the probe messages metered into the construction ledger
+        // scope — same events, two views.
+        let s = scenario();
+        let system = AsapSystem::bootstrap(&s, AsapConfig::default());
+        let mut counted = 0u64;
+        for c in s.population.clustering().clusters() {
+            counted += system.close_set_of(c.id()).construction_messages;
+        }
+        let scope = system.construction_scope();
+        let metered = scope.count(MessageKind::ProbeRequest) + scope.count(MessageKind::ProbeReply);
+        assert_eq!(metered, counted, "ledger probes != construction counters");
+        // And the request/reply split is balanced.
+        assert_eq!(
+            scope.count(MessageKind::ProbeRequest),
+            scope.count(MessageKind::ProbeReply)
+        );
     }
 
     #[test]

@@ -143,6 +143,11 @@ proptest! {
             prop_assert!(e.as_hops <= k);
             prop_assert_ne!(e.cluster, origin);
         }
-        prop_assert!(set.construction_messages >= 2 * set.len() as u64);
+        // Each completed remote measurement costs one request/reply
+        // pair; co-located (0-hop) clusters are close by construction
+        // and free.
+        let remote = set.entries().iter().filter(|e| e.as_hops > 0).count() as u64;
+        prop_assert!(set.construction_messages >= 2 * remote);
+        prop_assert_eq!(set.construction_messages % 2, 0);
     }
 }

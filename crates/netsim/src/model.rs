@@ -202,6 +202,13 @@ impl NetModel {
         self.router.lock().as_hops(&self.internet.graph, a, b)
     }
 
+    /// `(hits, misses)` of the underlying routing-tree cache: a miss
+    /// computes a full per-destination BGP tree, a hit reuses it. Lets
+    /// benchmarks confirm repeated `as_path`/`as_hops` queries are O(1).
+    pub fn route_cache_stats(&self) -> (u64, u64) {
+        self.router.lock().cache_stats()
+    }
+
     /// Round-trip time in milliseconds between (the delegate routers of)
     /// two ASes along the direct BGP route, or `None` if no policy route
     /// exists. Includes congestion/failure inflation; excludes end-host

@@ -160,6 +160,38 @@ impl LedgerScope {
             .sum()
     }
 
+    /// Folds another scope's counts into this one: per-kind totals and
+    /// per-cluster / per-node attributions all add. Addition is
+    /// associative and commutative, so shard scopes merged in any
+    /// grouping produce the same snapshot. Merging a scope into itself
+    /// is a no-op.
+    pub fn merge_from(&self, other: &LedgerScope) {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return;
+        }
+        for &kind in &MESSAGE_KINDS {
+            let n = other.0.counts[kind as usize].load(Ordering::Relaxed);
+            if n > 0 {
+                self.0.counts[kind as usize].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let mut clusters = self.0.clusters.lock();
+        for (&id, cells) in other.0.clusters.lock().iter() {
+            let mine = clusters.entry(id).or_insert([0; KINDS]);
+            for (slot, &n) in mine.iter_mut().zip(cells.iter()) {
+                *slot += n;
+            }
+        }
+        drop(clusters);
+        let mut nodes = self.0.nodes.lock();
+        for (&id, cells) in other.0.nodes.lock().iter() {
+            let mine = nodes.entry(id).or_insert([0; KINDS]);
+            for (slot, &n) in mine.iter_mut().zip(cells.iter()) {
+                *slot += n;
+            }
+        }
+    }
+
     /// A deterministic snapshot of this scope.
     pub fn snapshot(&self) -> ScopeSnapshot {
         let kinds: BTreeMap<&'static str, u64> = MESSAGE_KINDS
@@ -219,6 +251,24 @@ impl MessageLedger {
         let s = LedgerScope::default();
         scopes.insert(name.to_owned(), s.clone());
         s
+    }
+
+    /// Folds every scope of `other` into the same-named scope here
+    /// (creating scopes as needed). Merging a ledger into itself is a
+    /// no-op.
+    pub fn merge_from(&self, other: &MessageLedger) {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return;
+        }
+        let theirs: Vec<(String, LedgerScope)> = other
+            .0
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (name, scope) in theirs {
+            self.scope(&name).merge_from(&scope);
+        }
     }
 
     /// Total messages across every scope.

@@ -92,6 +92,18 @@ impl Telemetry {
         &self.spans
     }
 
+    /// Folds another telemetry context into this one: counters and
+    /// ledger counts add, gauges take the maximum (all gauges are
+    /// high-water marks), histograms merge bucket-wise. The combine is
+    /// associative and commutative, which is what lets the parallel
+    /// session engine give each shard a private context and fold them
+    /// back in shard order with a seed-stable result. Span event
+    /// buffers are not merged — shards run with the sink disabled.
+    pub fn merge_from(&self, other: &Telemetry) {
+        self.registry.merge_from(&other.registry);
+        self.ledger.merge_from(&other.ledger);
+    }
+
     /// A deterministic snapshot of every metric and ledger scope.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -147,6 +159,42 @@ mod tests {
         let snap = t.snapshot();
         assert_eq!(snap.metrics.counters["calls"], 1);
         assert_eq!(snap.messages["ASAP"].kinds["heartbeat"], 3);
+    }
+
+    #[test]
+    fn merge_combines_counters_gauges_histograms_and_ledger() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.registry().counter("calls").add(3);
+        b.registry().counter("calls").add(4);
+        b.registry().counter("only_b").inc();
+        a.registry().gauge("depth").set(7);
+        b.registry().gauge("depth").set(5);
+        a.registry().histogram("rtt").record(10.0);
+        b.registry().histogram("rtt").record(20.0);
+        a.ledger().scope("ASAP").record(MessageKind::Heartbeat, 2);
+        b.ledger()
+            .scope("ASAP")
+            .record_for_cluster(9, MessageKind::Heartbeat, 5);
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.metrics.counters["calls"], 7);
+        assert_eq!(snap.metrics.counters["only_b"], 1);
+        assert_eq!(snap.metrics.gauges["depth"], 7);
+        assert_eq!(snap.metrics.histograms["rtt"].count, 2);
+        assert_eq!(snap.messages["ASAP"].kinds["heartbeat"], 7);
+        assert_eq!(snap.messages["ASAP"].clusters[&9]["heartbeat"], 5);
+    }
+
+    #[test]
+    fn merge_into_self_is_a_no_op() {
+        let t = Telemetry::new();
+        t.registry().counter("c").add(5);
+        t.ledger().scope("S").record(MessageKind::Publish, 3);
+        let before = t.snapshot_json();
+        let alias = t.clone();
+        t.merge_from(&alias);
+        assert_eq!(t.snapshot_json(), before);
     }
 
     #[test]

@@ -125,6 +125,29 @@ impl Registry {
         self.histogram(name).histogram().merge_from(other);
     }
 
+    /// Folds another registry into this one: counters add, gauges take
+    /// the maximum (every gauge in this workspace is a high-water mark —
+    /// queue depths, hot-surrogate loads), histograms merge bucket-wise.
+    /// The combine is associative and commutative, so shard registries
+    /// merged in any grouping produce the same snapshot — the property
+    /// the deterministic parallel runner relies on. Merging a registry
+    /// into itself is a no-op.
+    pub fn merge_from(&self, other: &Registry) {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return;
+        }
+        for (name, c) in other.0.counters.lock().iter() {
+            self.counter(name).add(c.get());
+        }
+        for (name, g) in other.0.gauges.lock().iter() {
+            let mine = self.gauge(name);
+            mine.set(mine.get().max(g.get()));
+        }
+        for (name, h) in other.0.histograms.lock().iter() {
+            self.histogram(name).histogram().merge_from(h.histogram());
+        }
+    }
+
     /// A deterministic snapshot of every registered metric. Zero-valued
     /// counters and empty histograms are kept: a metric that exists but
     /// never fired is itself a signal.

@@ -1,8 +1,67 @@
 //! Property tests for the log-scale histogram: bucket placement,
-//! quantile error bounds, and merge semantics.
+//! quantile error bounds, and merge semantics — plus the shard-merge
+//! algebra the deterministic parallel session engine relies on
+//! (associative, order-insensitive folds of registries and ledgers).
 
-use asap_telemetry::{bucket_bounds, bucket_index, Histogram, BUCKETS, OVERFLOW, UNDERFLOW};
+use asap_telemetry::{
+    bucket_bounds, bucket_index, Histogram, MessageKind, Telemetry, BUCKETS, MESSAGE_KINDS,
+    OVERFLOW, UNDERFLOW,
+};
 use proptest::prelude::*;
+
+/// One shard's worth of synthetic telemetry activity.
+#[derive(Debug, Clone)]
+struct ShardFeed {
+    counter_adds: Vec<(u8, u64)>,
+    gauge_highs: Vec<(u8, i64)>,
+    histogram_values: Vec<f64>,
+    ledger_records: Vec<(u8, u64)>,
+}
+
+fn shard_feed() -> impl Strategy<Value = ShardFeed> {
+    (
+        proptest::collection::vec((0u8..4, 0u64..1000), 0..12),
+        proptest::collection::vec((0u8..3, 0i64..1000), 0..8),
+        proptest::collection::vec(0.01f64..1e6, 0..20),
+        proptest::collection::vec((0u8..13, 0u64..50), 0..12),
+    )
+        .prop_map(
+            |(counter_adds, gauge_highs, histogram_values, ledger_records)| ShardFeed {
+                counter_adds,
+                gauge_highs,
+                histogram_values,
+                ledger_records,
+            },
+        )
+}
+
+fn apply_feed(t: &Telemetry, feed: &ShardFeed) {
+    for &(which, n) in &feed.counter_adds {
+        t.registry().counter(&format!("c{which}")).add(n);
+    }
+    for &(which, v) in &feed.gauge_highs {
+        let g = t.registry().gauge(&format!("g{which}"));
+        g.set(g.get().max(v));
+    }
+    for &v in &feed.histogram_values {
+        t.registry().histogram("h").record(v);
+    }
+    for &(kind, n) in &feed.ledger_records {
+        t.ledger()
+            .scope("S")
+            .record_for_cluster(u32::from(kind), MESSAGE_KINDS[kind as usize], n);
+    }
+}
+
+fn merged_snapshot(feeds: &[ShardFeed], order: &[usize]) -> String {
+    let root = Telemetry::new();
+    for &i in order {
+        let shard = Telemetry::new();
+        apply_feed(&shard, &feeds[i]);
+        root.merge_from(&shard);
+    }
+    root.snapshot_json()
+}
 
 proptest! {
     /// Every positive finite value lands in a bucket whose bounds
@@ -73,4 +132,129 @@ proptest! {
         a.merge_from(&b);
         prop_assert_eq!(a.snapshot(), all.snapshot());
     }
+
+    /// Quantiles are never NaN: empty histograms answer `None` for
+    /// every q, and any non-empty histogram answers a finite value.
+    #[test]
+    fn quantile_is_none_on_empty_and_finite_otherwise(
+        values in proptest::collection::vec(0.0001f64..1e10, 0..50),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        match h.quantile(q) {
+            None => prop_assert!(values.is_empty()),
+            Some(est) => {
+                prop_assert!(!values.is_empty());
+                prop_assert!(est.is_finite(), "quantile({q}) = {est}");
+            }
+        }
+    }
+
+    /// Folding shard telemetry is order-insensitive: merging the same
+    /// shard feeds in two different orders yields byte-identical
+    /// snapshots. This is the property that makes the parallel engine's
+    /// output independent of scheduling.
+    #[test]
+    fn shard_merge_is_order_insensitive(
+        feeds in proptest::collection::vec(shard_feed(), 1..5),
+        seed in 0u64..1000,
+    ) {
+        let forward: Vec<usize> = (0..feeds.len()).collect();
+        let mut shuffled = forward.clone();
+        // Deterministic Fisher-Yates driven by the seed input.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+        prop_assert_eq!(
+            merged_snapshot(&feeds, &forward),
+            merged_snapshot(&feeds, &shuffled)
+        );
+    }
+
+    /// Folding shard telemetry is associative: merging shards one at a
+    /// time into the root equals pre-merging them pairwise first.
+    #[test]
+    fn shard_merge_is_associative(feeds in proptest::collection::vec(shard_feed(), 3..6)) {
+        let flat: Vec<usize> = (0..feeds.len()).collect();
+        let flat_result = merged_snapshot(&feeds, &flat);
+
+        // Grouped: fold shards into two intermediate contexts, then
+        // fold those into the root.
+        let root = Telemetry::new();
+        let mid = feeds.len() / 2;
+        for group in [&feeds[..mid], &feeds[mid..]] {
+            let intermediate = Telemetry::new();
+            for feed in group {
+                let shard = Telemetry::new();
+                apply_feed(&shard, feed);
+                intermediate.merge_from(&shard);
+            }
+            root.merge_from(&intermediate);
+        }
+        prop_assert_eq!(root.snapshot_json(), flat_result);
+    }
+}
+
+#[test]
+fn empty_histogram_quantile_is_none_not_nan() {
+    let h = Histogram::new();
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), None);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.p50, None);
+    assert_eq!(snap.p99, None);
+}
+
+#[test]
+fn single_value_histogram_quantiles_are_finite() {
+    let h = Histogram::new();
+    h.record(42.0);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        let est = h.quantile(q).expect("non-empty histogram yields Some");
+        assert!(est.is_finite());
+    }
+}
+
+#[test]
+fn gauge_merge_keeps_high_water_mark() {
+    let a = Telemetry::new();
+    let b = Telemetry::new();
+    a.registry().gauge("depth").set(12);
+    b.registry().gauge("depth").set(9);
+    a.merge_from(&b);
+    assert_eq!(a.registry().gauge("depth").get(), 12);
+    // And the other direction: the larger shard value wins.
+    let c = Telemetry::new();
+    c.registry().gauge("depth").set(40);
+    a.merge_from(&c);
+    assert_eq!(a.registry().gauge("depth").get(), 40);
+}
+
+#[test]
+fn ledger_merge_sums_attribution_maps() {
+    let a = Telemetry::new();
+    let b = Telemetry::new();
+    a.ledger()
+        .scope("S")
+        .record_for_node(3, MessageKind::Heartbeat, 2);
+    b.ledger()
+        .scope("S")
+        .record_for_node(3, MessageKind::Heartbeat, 5);
+    b.ledger()
+        .scope("S")
+        .record_for_node(8, MessageKind::Publish, 1);
+    a.merge_from(&b);
+    let snap = a.ledger().snapshot();
+    assert_eq!(snap["S"].nodes[&3]["heartbeat"], 7);
+    assert_eq!(snap["S"].nodes[&8]["publish"], 1);
+    assert_eq!(snap["S"].total, 8);
 }

@@ -95,6 +95,33 @@ impl InternetConfig {
     }
 }
 
+/// Error from [`InternetGenerator::try_generate`]: the configuration
+/// left an attachment step with no candidate provider (e.g. `tier1: 0`,
+/// where neither a transit nor a stub AS has anything to buy transit
+/// from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenError {
+    /// An AS of the given tier had no provider pool to attach to.
+    EmptyProviderPool {
+        /// The tier being attached when the pool came up empty.
+        tier: AsTier,
+    },
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::EmptyProviderPool { tier } => write!(
+                f,
+                "no provider available to attach a {tier:?} AS \
+                 (configure at least one tier-1 AS)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
 /// A generated Internet: the annotated AS graph plus per-AS metadata.
 #[derive(Debug, Clone)]
 pub struct SyntheticInternet {
@@ -169,7 +196,22 @@ impl InternetGenerator {
     }
 
     /// Generates the topology.
-    pub fn generate(mut self) -> SyntheticInternet {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration leaves an AS with no possible
+    /// provider (see [`InternetGenerator::try_generate`] for the
+    /// non-panicking form).
+    pub fn generate(self) -> SyntheticInternet {
+        self.try_generate()
+            .expect("topology generation failed: invalid InternetConfig")
+    }
+
+    /// Generates the topology, reporting degenerate configurations as
+    /// [`GenError`] instead of panicking. For every config `generate`
+    /// accepts, this produces the identical topology (same seed, same
+    /// RNG draw sequence).
+    pub fn try_generate(mut self) -> Result<SyntheticInternet, GenError> {
         let cfg = self.config.clone();
         let mut graph = AsGraph::new();
         let mut tiers = Vec::new();
@@ -220,11 +262,18 @@ impl InternetGenerator {
         // transit AS. ---
         let mut transits: Vec<Asn> = Vec::new();
         for _ in 0..cfg.transit {
+            // Prefer a tier-1 provider; if the clique is empty (a
+            // degenerate config), fall back to the combined provider
+            // tier before giving up.
             let provider = if transits.is_empty() || self.rng.gen_bool(0.75) {
                 self.weighted_provider(&graph, tier1.iter())
+                    .or_else(|| self.weighted_provider(&graph, tier1.iter().chain(&transits)))
             } else {
                 self.weighted_provider(&graph, tier1.iter().chain(&transits))
-            };
+            }
+            .ok_or(GenError::EmptyProviderPool {
+                tier: AsTier::Transit,
+            })?;
             let (px, py) = coords[graph.index_of(provider).unwrap() as usize];
             let xy = (
                 clamp((px + self.rng.gen_range(-w / 6.0..w / 6.0)).abs(), w),
@@ -232,9 +281,13 @@ impl InternetGenerator {
             );
             let asn = alloc(&mut graph, &mut tiers, &mut coords, AsTier::Transit, xy);
             graph.add_edge(provider, asn, EdgeKind::ProviderToCustomer);
-            // Transit ASes are multi-homed across additional tier-1s.
+            // Transit ASes are multi-homed across additional tier-1s
+            // (skipped when the clique is empty — the fallback provider
+            // above already attached the AS).
             for _ in 0..self.rng.gen_range(2..=3) {
-                let second = self.weighted_provider(&graph, tier1.iter());
+                let Some(second) = self.weighted_provider(&graph, tier1.iter()) else {
+                    break;
+                };
                 if second != asn && graph.edge_kind(second, asn).is_none() {
                     graph.add_edge(second, asn, EdgeKind::ProviderToCustomer);
                 }
@@ -269,7 +322,9 @@ impl InternetGenerator {
 
         // --- Stub ASes. ---
         for _ in 0..cfg.stubs {
-            let provider = self.weighted_provider(&graph, tier1.iter().chain(&transits));
+            let provider = self
+                .weighted_provider(&graph, tier1.iter().chain(&transits))
+                .ok_or(GenError::EmptyProviderPool { tier: AsTier::Stub })?;
             let (px, py) = coords[graph.index_of(provider).unwrap() as usize];
             let xy = (
                 clamp((px + self.rng.gen_range(-w / 10.0..w / 10.0)).abs(), w),
@@ -282,7 +337,10 @@ impl InternetGenerator {
                 // which is what creates useful relay shortcuts.
                 let extra = if self.rng.gen_bool(0.2) { 2 } else { 1 };
                 for _ in 0..extra {
-                    let p = self.weighted_provider(&graph, tier1.iter().chain(&transits));
+                    let Some(p) = self.weighted_provider(&graph, tier1.iter().chain(&transits))
+                    else {
+                        break;
+                    };
                     if p != asn {
                         graph.add_edge(p, asn, EdgeKind::ProviderToCustomer);
                     }
@@ -299,32 +357,36 @@ impl InternetGenerator {
             }
         }
 
-        SyntheticInternet {
+        Ok(SyntheticInternet {
             graph,
             tiers,
             coords,
-        }
+        })
     }
 
     /// Picks a provider among `candidates` with probability proportional to
-    /// degree + 1 (preferential attachment).
+    /// degree + 1 (preferential attachment). `None` when the pool is
+    /// empty; no RNG draw happens in that case, so fallback pools keep
+    /// the draw sequence of configs that never hit the empty branch.
     fn weighted_provider<'a>(
         &mut self,
         graph: &AsGraph,
         candidates: impl Iterator<Item = &'a Asn>,
-    ) -> Asn {
+    ) -> Option<Asn> {
         let pool: Vec<Asn> = candidates.copied().collect();
-        assert!(!pool.is_empty(), "provider pool must not be empty");
+        if pool.is_empty() {
+            return None;
+        }
         let total: usize = pool.iter().map(|&a| graph.degree(a) + 1).sum();
         let mut pick = self.rng.gen_range(0..total);
         for &a in &pool {
             let wgt = graph.degree(a) + 1;
             if pick < wgt {
-                return a;
+                return Some(a);
             }
             pick -= wgt;
         }
-        *pool.last().unwrap()
+        pool.last().copied()
     }
 }
 
@@ -466,6 +528,79 @@ mod tests {
         let ea: Vec<_> = a.graph.edges().collect();
         let eb: Vec<_> = b.graph.edges().collect();
         assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn empty_tier1_is_an_error_not_a_panic() {
+        // Regression: this configuration used to trip the
+        // "provider pool must not be empty" assertion inside
+        // weighted_provider with ~75% probability per transit AS.
+        let cfg = InternetConfig {
+            tier1: 0,
+            transit: 5,
+            stubs: 10,
+            ..InternetConfig::default()
+        };
+        let err = InternetGenerator::new(cfg, 1).try_generate().unwrap_err();
+        assert_eq!(
+            err,
+            GenError::EmptyProviderPool {
+                tier: AsTier::Transit
+            }
+        );
+
+        // Stubs with nothing upstream fail the same way.
+        let cfg = InternetConfig {
+            tier1: 0,
+            transit: 0,
+            stubs: 3,
+            ..InternetConfig::default()
+        };
+        let err = InternetGenerator::new(cfg, 1).try_generate().unwrap_err();
+        assert_eq!(err, GenError::EmptyProviderPool { tier: AsTier::Stub });
+    }
+
+    #[test]
+    fn minimal_topologies_generate() {
+        // The smallest useful worlds: one core AS and a handful of
+        // customers must come out whole, across several seeds (the
+        // 75%/25% provider-branch coin means a single seed would not
+        // exercise both paths on a one-transit config).
+        for seed in 0..8 {
+            let cfg = InternetConfig {
+                tier1: 1,
+                transit: 1,
+                stubs: 1,
+                ..InternetConfig::default()
+            };
+            let net = InternetGenerator::new(cfg, seed)
+                .try_generate()
+                .expect("minimal topology generates");
+            assert!(net.graph.node_count() >= 3);
+            assert!(!net.stub_asns().is_empty());
+
+            let cfg = InternetConfig {
+                tier1: 1,
+                transit: 0,
+                stubs: 2,
+                ..InternetConfig::default()
+            };
+            let net = InternetGenerator::new(cfg, seed)
+                .try_generate()
+                .expect("transit-free topology generates");
+            assert!(net.graph.node_count() >= 3);
+        }
+    }
+
+    #[test]
+    fn try_generate_matches_generate_for_valid_configs() {
+        let a = InternetGenerator::new(InternetConfig::tiny(), 42).generate();
+        let b = InternetGenerator::new(InternetConfig::tiny(), 42)
+            .try_generate()
+            .unwrap();
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_eq!(ea, eb);
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub mod routing;
 pub mod updates;
 pub mod valley;
 
-pub use gen::{AsTier, InternetConfig, InternetGenerator, SyntheticInternet};
+pub use gen::{AsTier, GenError, InternetConfig, InternetGenerator, SyntheticInternet};
 pub use graph::{AsGraph, EdgeKind};

@@ -119,6 +119,8 @@ impl RoutingTree {
 #[derive(Debug, Default)]
 pub struct BgpRouter {
     trees: HashMap<Asn, RoutingTree>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl BgpRouter {
@@ -132,15 +134,29 @@ impl BgpRouter {
         self.trees.len()
     }
 
+    /// `(hits, misses)` of the routing-tree cache: a miss computes a
+    /// full tree, a hit answers from the memo. Every `path`/`as_hops`
+    /// query counts exactly once.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
     /// The routing tree towards `dest`, computing and caching it if needed.
     ///
     /// # Panics
     ///
     /// Panics if `dest` is not in the graph.
     pub fn tree<'a>(&'a mut self, graph: &AsGraph, dest: Asn) -> &'a RoutingTree {
-        self.trees
-            .entry(dest)
-            .or_insert_with(|| compute_tree(graph, dest))
+        match self.trees.entry(dest) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.cache_hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.cache_misses += 1;
+                e.insert(compute_tree(graph, dest))
+            }
+        }
     }
 
     /// The policy route AS path from `src` to `dest`, if one exists.
@@ -454,10 +470,13 @@ mod tests {
                 );
             }
         }
-        // And the cache caches.
+        // And the cache caches: one miss on first build, hits after.
         r.tree(&net.graph, dests[0]);
         r.tree(&net.graph, dests[0]);
         assert_eq!(r.cached_trees(), 1);
+        assert_eq!(r.cache_stats(), (1, 1));
+        r.as_hops(&net.graph, asns[1], dests[0]);
+        assert_eq!(r.cache_stats(), (2, 1));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! (paper Fig. 9) is a breadth-first search constrained to valley-free
 //! extensions, so this module is the heart of the protocol substrate.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use asap_cluster::Asn;
 
@@ -217,6 +217,92 @@ pub fn valley_free_hops(graph: &AsGraph, src: Asn, dst: Asn, max_hops: usize) ->
     found
 }
 
+/// All valley-free hop distances from `src` within `max_hops` links, as
+/// a map from destination AS to its minimal hop count (the origin is
+/// included at 0 hops). One bounded search answers every destination —
+/// the precomputation [`ValleyHopsCache`] memoizes.
+pub fn valley_free_hops_from(
+    graph: &AsGraph,
+    src: Asn,
+    max_hops: usize,
+) -> std::collections::BTreeMap<Asn, usize> {
+    let mut dist = std::collections::BTreeMap::new();
+    if graph.index_of(src).is_some() {
+        dist.insert(src, 0);
+    }
+    bounded_search(graph, src, max_hops, |r| {
+        dist.entry(r.asn).or_insert(r.hops);
+        Expand::Continue
+    });
+    dist
+}
+
+/// Memoized valley-free hop distances, keyed by `(origin, max_hops)`.
+///
+/// `construct-close-cluster-set()` and the evaluation figures ask for
+/// `valley_free_hops(src, dst)` for many destinations per source; each
+/// uncached query walks a full bounded search. The cache runs the
+/// search once per origin and answers every later `(src, *, max_hops)`
+/// query from the stored distance vector in O(log n). Hit/miss counters
+/// make cache effectiveness observable from benchmarks.
+///
+/// The cache holds distances for one immutable graph; rebuild it (or
+/// drop it) whenever the topology changes.
+#[derive(Debug, Default)]
+pub struct ValleyHopsCache {
+    vectors: std::sync::Mutex<HashMap<(Asn, usize), std::collections::BTreeMap<Asn, usize>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl ValleyHopsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`valley_free_hops`] through the cache: the first query for an
+    /// `(src, max_hops)` origin runs the bounded search; repeats are
+    /// answered from the memoized distance vector.
+    pub fn hops(&self, graph: &AsGraph, src: Asn, dst: Asn, max_hops: usize) -> Option<usize> {
+        use std::sync::atomic::Ordering;
+        let mut vectors = self.vectors.lock().expect("valley cache lock");
+        if let Some(dist) = vectors.get(&(src, max_hops)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return dist.get(&dst).copied();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let dist = valley_free_hops_from(graph, src, max_hops);
+        let answer = dist.get(&dst).copied();
+        vectors.insert((src, max_hops), dist);
+        answer
+    }
+
+    /// `(hits, misses)` recorded so far.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of memoized origin vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.lock().expect("valley cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized vector (keeps the hit/miss counters).
+    pub fn clear(&self) {
+        self.vectors.lock().expect("valley cache lock").clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,5 +471,52 @@ mod tests {
             reached.iter().any(|r| r.asn == Asn(4)),
             "must keep climbing through X"
         );
+    }
+
+    #[test]
+    fn hops_from_matches_pointwise_queries() {
+        let g = multihomed_fixture();
+        for max_hops in [1, 2, 4, 6] {
+            let dist = valley_free_hops_from(&g, Asn(1), max_hops);
+            for &dst in g.asns() {
+                assert_eq!(
+                    dist.get(&dst).copied(),
+                    valley_free_hops(&g, Asn(1), dst, max_hops),
+                    "origin 1 -> {dst} at max {max_hops}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_answers_match_uncached_and_hits_accumulate() {
+        let g = multihomed_fixture();
+        let cache = ValleyHopsCache::new();
+        let asns: Vec<Asn> = g.asns().to_vec();
+        for &src in &asns {
+            for &dst in &asns {
+                assert_eq!(
+                    cache.hops(&g, src, dst, 4),
+                    valley_free_hops(&g, src, dst, 4),
+                    "{src} -> {dst}"
+                );
+            }
+        }
+        let (hits, misses) = cache.stats();
+        // One miss per origin, everything else served from the vector.
+        assert_eq!(misses, asns.len() as u64);
+        assert_eq!(hits, (asns.len() * asns.len()) as u64 - misses);
+        assert_eq!(cache.len(), asns.len());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_keys_include_hop_bound() {
+        let g = multihomed_fixture();
+        let cache = ValleyHopsCache::new();
+        // A tight bound must not poison queries with a looser one.
+        assert_eq!(cache.hops(&g, Asn(1), Asn(2), 1), None);
+        assert_eq!(cache.hops(&g, Asn(1), Asn(2), 4), Some(2));
     }
 }

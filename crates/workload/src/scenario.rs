@@ -243,6 +243,17 @@ mod tests {
         Scenario::build(ScenarioConfig::tiny(), 11)
     }
 
+    /// The parallel session engine shares one `Scenario` across shard
+    /// worker threads by reference; this pins the thread-safety
+    /// contract so an interior-mutability change cannot silently break
+    /// it.
+    #[test]
+    fn scenario_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Scenario>();
+        assert_send_sync::<ScenarioConfig>();
+    }
+
     #[test]
     fn build_is_deterministic() {
         let a = scenario();
